@@ -1,0 +1,68 @@
+"""Figure 11: the value of LBRs, measured on the HHVM analog.
+
+Three optimization scopes — function reordering only, basic-block
+reordering (+other passes) only, and both — each built twice from the
+same run: once with LBR-based profiles and once from plain IP samples
+(edge counts recovered via MCF).
+
+Paper: LBRs are worth ~2% CPU out of BOLT's ~8% on HHVM; the gap is
+much larger for basic-block reordering than for function reordering
+(section 5.3: the call graph survives sampling without LBRs, the
+block-level edge profile does not).
+"""
+
+from conftest import once, print_table
+from repro.core import BoltOptions
+from repro.harness import measure, run_bolt, sample_profile, speedup
+from repro.profiling import SamplingConfig
+
+SCOPES = {
+    "Functions": BoltOptions(reorder_blocks="none", split_functions=0,
+                             icp=False, inline_small=False, sctc=False,
+                             frame_opts=False, shrink_wrapping=False),
+    "BBs": BoltOptions(reorder_functions="none"),
+    "Both": BoltOptions(),
+}
+
+
+def test_fig11_lbr_value(benchmark, facebook_experiments):
+    exp = facebook_experiments["hhvm"]
+    built = exp.built
+    workload = exp.workload
+    base = exp.baseline
+
+    nolbr_profile, _ = sample_profile(
+        built, sampling=SamplingConfig(period=251, use_lbr=False))
+    lbr_profile = exp.profile
+
+    rows = []
+    gains = {}
+    for scope, options in SCOPES.items():
+        with_lbr = measure(
+            run_bolt(built, lbr_profile, options).binary,
+            inputs=workload.inputs)
+        without = measure(
+            run_bolt(built, nolbr_profile, options).binary,
+            inputs=workload.inputs)
+        assert with_lbr.output == base.output == without.output
+        s_lbr = speedup(base.counters.cycles, with_lbr.counters.cycles)
+        s_no = speedup(base.counters.cycles, without.counters.cycles)
+        gains[scope] = (s_lbr, s_no)
+        rows.append((scope, f"{s_lbr:+.1%}", f"{s_no:+.1%}",
+                     f"{s_lbr - s_no:+.1%}"))
+    print_table("Figure 11: BOLT speedup with vs without LBRs (HHVM)",
+                ("scope", "with LBR", "without LBR", "LBR value"),
+                rows)
+
+    # Shape claims: LBR >= non-LBR for the full configuration, and the
+    # penalty of losing LBRs is larger for BB reordering than for
+    # function reordering (section 5.3).
+    assert gains["Both"][0] >= gains["Both"][1] - 0.01
+    bb_gap = gains["BBs"][0] - gains["BBs"][1]
+    func_gap = gains["Functions"][0] - gains["Functions"][1]
+    assert bb_gap >= func_gap - 0.01
+
+    benchmark.extra_info["gains"] = {
+        scope: {"lbr": round(a, 4), "nolbr": round(b, 4)}
+        for scope, (a, b) in gains.items()}
+    once(benchmark, lambda: gains)

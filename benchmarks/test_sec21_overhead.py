@@ -1,0 +1,62 @@
+"""Section 2.1: why sample-based profiling?
+
+The paper's motivation: "instrumentation typically incurs very
+significant CPU and memory overheads ... sample-based profiling
+overheads are negligible".  Our instrumented builds physically insert
+load/add/store counter triples per basic block, so the overhead is
+measurable; the sampler only watches the run.
+
+Shape claims: the instrumented binary is substantially slower than the
+production binary (tens of percent or more); running under the sampler
+costs exactly zero simulated cycles.
+"""
+
+from conftest import once, print_table, scaled
+from repro.compiler import BuildOptions, compile_program
+from repro.harness import build_workload, measure, sample_profile
+from repro.linker import link
+from repro.uarch import run_binary
+
+
+def test_sec21_instrumentation_overhead(benchmark):
+    workload = scaled("tao")
+    built = build_workload(workload)
+    production = measure(built)
+
+    # Instrumented build (the -fprofile-generate analog).
+    result = compile_program(workload.sources, BuildOptions(instrument=True))
+    objects = list(result.objects)
+    if workload.asm_sources:
+        asm = compile_program(workload.asm_sources, BuildOptions())
+        objects.extend(asm.objects)
+    libs = []
+    if workload.lib_sources:
+        libs = compile_program(workload.lib_sources, BuildOptions()).objects
+    instrumented_exe = link(objects, libs=libs, name="instrumented")
+    instrumented = run_binary(instrumented_exe, inputs=workload.inputs)
+
+    # Sampled run of the *unmodified* production binary.
+    profile, sampled_cpu = sample_profile(built)
+
+    inst_overhead = (instrumented.counters.cycles
+                     / production.counters.cycles - 1)
+    sample_overhead = (sampled_cpu.counters.cycles
+                       / production.counters.cycles - 1)
+
+    print_table(
+        "Section 2.1: profiling overheads (TAO analog)",
+        ("configuration", "cycles", "overhead"),
+        [("production (-O2)", f"{production.counters.cycles:,}", "-"),
+         ("instrumented (PGO train)", f"{instrumented.counters.cycles:,}",
+          f"{inst_overhead:+.1%}"),
+         ("production under sampler", f"{sampled_cpu.counters.cycles:,}",
+          f"{sample_overhead:+.1%}")])
+
+    assert inst_overhead > 0.15          # instrumentation is expensive
+    assert abs(sample_overhead) < 0.001  # sampling is free
+    assert len(profile) > 0              # and still yields a usable profile
+
+    benchmark.extra_info["instrumentation"] = round(inst_overhead, 4)
+    benchmark.extra_info["sampling"] = round(sample_overhead, 6)
+    once(benchmark, lambda: run_binary(instrumented_exe,
+                                       inputs=workload.inputs))

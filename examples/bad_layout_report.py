@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Reproduce the paper's section 6.3 analysis (Figure 10): even a
+PGO-optimized binary contains *cold basic blocks interleaved with hot
+ones*, because the compiler's profile is context-merged across inlined
+callsites (Figure 2).  BOLT's `-report-bad-layout` finds them, and the
+Figure 4-style CFG dump shows one.
+"""
+
+from repro.core import BinaryContext, BoltOptions
+from repro.core.cfg_builder import build_all_functions
+from repro.core.discovery import discover_functions
+from repro.core.profile_attach import attach_profile
+from repro.core.reports import (
+    dump_function,
+    format_bad_layout_report,
+    report_bad_layout,
+)
+from repro.harness import build_workload, sample_profile
+from repro.workloads import make_workload
+
+
+def main():
+    workload = make_workload("compiler", iterations=160)
+    print("building the compiler workload with PGO (FDO) ...")
+    built = build_workload(workload, pgo=True)
+    profile, _ = sample_profile(built)
+
+    context = BinaryContext(built.exe, BoltOptions())
+    discover_functions(context)
+    build_all_functions(context)
+    attach_profile(context, profile)
+
+    findings = report_bad_layout(context, min_count=30, max_reports=12)
+    print(format_bad_layout_report(findings))
+
+    if findings:
+        worst = findings[0]
+        print(f"\nFigure 4-style dump of {worst['function']} "
+              f"(note the cold {worst['block']} between hot blocks):\n")
+        print(dump_function(context.functions[worst["function"]],
+                            max_blocks=8))
+
+
+if __name__ == "__main__":
+    main()

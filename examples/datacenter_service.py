@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""A data-center-shaped service through the full production pipeline
+(the paper's section 6.1 setup):
+
+  1. build the HHVM-like workload with LTO,
+  2. apply the link-time HFSort baseline (profile-guided function order),
+  3. BOLT it on top,
+  4. compare cycles and the micro-architecture counters (Figure 6),
+  5. render the instruction-address heat maps (Figure 9).
+"""
+
+from repro.core import BoltOptions
+from repro.harness import (
+    build_workload,
+    counter_reductions,
+    fetch_heatmap,
+    hot_footprint,
+    measure,
+    render_heatmap,
+    run_bolt,
+    sample_profile,
+    speedup,
+)
+from repro.workloads import make_workload
+
+
+def main():
+    workload = make_workload("hhvm")
+    print("building hhvm-like workload with LTO + link-time HFSort ...")
+    built = build_workload(workload, lto=True, hfsort_link="hfsort")
+    print(f"  text: {built.exe.text_size():,} bytes, "
+          f"{len(built.exe.functions())} functions")
+
+    baseline = measure(built, fetch_heat=True)
+    print(f"baseline: {baseline.counters.cycles:,} cycles")
+
+    profile, _ = sample_profile(built)
+    result = run_bolt(built, profile, BoltOptions())
+    optimized = measure(result.binary, inputs=workload.inputs,
+                        fetch_heat=True)
+    assert optimized.output == baseline.output
+
+    print(f"bolted  : {optimized.counters.cycles:,} cycles  "
+          f"(+{speedup(baseline.counters.cycles, optimized.counters.cycles):.1%})")
+
+    non_simple = [f.name for f in result.context.functions.values()
+                  if not f.is_simple]
+    print(f"non-simple functions (indirect tail calls etc.): "
+          f"{len(non_simple)}")
+
+    print("\nFigure 6-style miss reductions:")
+    for label, reduction in counter_reductions(
+            baseline.counters, optimized.counters).items():
+        print(f"  {label:8s} {reduction:+7.1%}")
+
+    print("\nFigure 9-style heat maps (log fetch density, 32x32):")
+    span = (0, max(s.end for s in result.binary.sections.values()
+                   if s.is_exec))
+    for name, cpu in (("before", baseline), ("after", optimized)):
+        print(f"--- {name}: hot footprint "
+              f"{hot_footprint(cpu, 0.99):,} bytes")
+        print(render_heatmap(fetch_heatmap(cpu, grid=32, span=span)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,120 @@
+"""The BELF container: sections + symbols + relocations + metadata."""
+
+from repro.belf.constants import SymbolType
+from repro.belf.section import Section
+
+
+class Binary:
+    """A relocatable object or linked executable.
+
+    Attributes:
+        kind: ``"object"`` or ``"exec"``.
+        sections: name -> :class:`Section` (insertion-ordered).
+        symbols: list of :class:`Symbol`.
+        relocations: list of :class:`Relocation`.  For executables this
+            is only populated when the linker was invoked with
+            ``emit_relocs=True`` (paper section 3.2).
+        frame_records: func link-name -> :class:`FrameRecord`.
+        line_table: :class:`LineTable` or None.
+        entry: entry-point address (exec) or symbol name (object).
+        emit_relocs: whether relocations were preserved post-link.
+    """
+
+    def __init__(self, kind="object", name=""):
+        self.kind = kind
+        self.name = name
+        self.sections = {}
+        self.symbols = []
+        self.relocations = []
+        self.frame_records = {}
+        self.line_table = None
+        self.entry = None
+        self.emit_relocs = False
+        #: objects only: func link name -> [(offset, file, line)] rows,
+        #: offsets relative to the function's section.  The linker folds
+        #: these into the executable's flat ``line_table``.
+        self.func_line_tables = {}
+        self._symbols_by_link_name = None
+
+    # -- sections ---------------------------------------------------------
+
+    def add_section(self, section):
+        if section.name in self.sections:
+            raise ValueError(f"duplicate section {section.name}")
+        self.sections[section.name] = section
+        return section
+
+    def get_or_create_section(self, name, **kwargs):
+        if name in self.sections:
+            return self.sections[name]
+        return self.add_section(Section(name, **kwargs))
+
+    def get_section(self, name):
+        return self.sections.get(name)
+
+    def section_at(self, address):
+        """The ALLOC section mapping ``address``, or None."""
+        for section in self.sections.values():
+            if section.is_alloc and section.contains(address):
+                return section
+        return None
+
+    def read_word(self, address):
+        """Read a little-endian 8-byte word at a mapped address."""
+        section = self.section_at(address)
+        if section is None:
+            raise KeyError(f"address 0x{address:x} not mapped")
+        off = address - section.addr
+        return int.from_bytes(section.data[off : off + 8], "little", signed=False)
+
+    # -- symbols ----------------------------------------------------------
+
+    def add_symbol(self, symbol):
+        self.symbols.append(symbol)
+        self._symbols_by_link_name = None
+        return symbol
+
+    def _link_name_map(self):
+        if self._symbols_by_link_name is None:
+            self._symbols_by_link_name = {}
+            for sym in self.symbols:
+                self._symbols_by_link_name.setdefault(sym.link_name(), sym)
+        return self._symbols_by_link_name
+
+    def get_symbol(self, link_name):
+        """Look up a symbol by link name (module-qualified for locals)."""
+        return self._link_name_map().get(link_name)
+
+    def invalidate_symbol_cache(self):
+        self._symbols_by_link_name = None
+
+    def functions(self):
+        """All FUNC symbols."""
+        return [s for s in self.symbols if s.type == SymbolType.FUNC]
+
+    def function_at(self, address):
+        """The FUNC symbol whose range contains ``address``, or None."""
+        for sym in self.symbols:
+            if sym.type == SymbolType.FUNC and sym.contains(address):
+                return sym
+        return None
+
+    def defined_names(self):
+        """Set of link names defined by this object (section != None)."""
+        return {s.link_name() for s in self.symbols if s.section is not None}
+
+    # -- misc ---------------------------------------------------------------
+
+    @property
+    def is_executable(self):
+        return self.kind == "exec"
+
+    def text_size(self):
+        """Total size of executable sections."""
+        return sum(s.size for s in self.sections.values() if s.is_exec)
+
+    def __repr__(self):
+        return (
+            f"<Binary {self.name!r} kind={self.kind} sections={list(self.sections)} "
+            f"symbols={len(self.symbols)} relocs={len(self.relocations)}>"
+        )

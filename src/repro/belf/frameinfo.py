@@ -1,0 +1,78 @@
+"""CFI-lite frame information (.eh_frame / LSDA analog).
+
+Each function compiled with frame info gets one :class:`FrameRecord`
+describing its frame layout (for the unwinder) and its exception
+call-site table (landing pads).  The paper (section 3.3/3.4) describes
+BOLT using frame information both as a function-discovery source —
+hand-written assembly may omit it, which our workload generators also do
+— and as metadata it must *rewrite* when blocks move (CFI update,
+``split-eh``).
+"""
+
+
+class CallSiteRecord:
+    """One LSDA call-site entry: calls in [start, end) unwind to ``landing_pad``.
+
+    All three values are offsets from the function start in objects and
+    in executables alike (BOLT rewrites them when blocks move).
+    ``action`` mirrors the paper's Figure 4 annotation; 0 means cleanup.
+    """
+
+    __slots__ = ("start", "end", "landing_pad", "action")
+
+    def __init__(self, start, end, landing_pad, action=1):
+        self.start = start
+        self.end = end
+        self.landing_pad = landing_pad
+        self.action = action
+
+    def __repr__(self):
+        return (
+            f"<CallSite [{self.start:#x},{self.end:#x}) -> {self.landing_pad:#x} "
+            f"action={self.action}>"
+        )
+
+
+class FrameRecord:
+    """Frame layout + exception table for one function.
+
+    Attributes:
+        func: link name of the function symbol.
+        frame_size: bytes subtracted from rsp after the pushes.
+        saved_regs: list of (reg, offset) — callee-saved registers stored
+            at ``rbp - offset`` (the frame-pointer-relative slot the
+            unwinder restores from).
+        callsites: LSDA entries (empty when the function cannot throw
+            through).
+    """
+
+    def __init__(self, func, frame_size=0, saved_regs=(), callsites=()):
+        self.func = func
+        self.frame_size = frame_size
+        self.saved_regs = list(saved_regs)
+        self.callsites = list(callsites)
+
+    @property
+    def has_landing_pads(self):
+        return bool(self.callsites)
+
+    def landing_pad_for(self, offset):
+        """Landing-pad offset covering a call at ``offset``, or None."""
+        for cs in self.callsites:
+            if cs.start <= offset < cs.end:
+                return cs.landing_pad
+        return None
+
+    def copy(self):
+        return FrameRecord(
+            self.func,
+            self.frame_size,
+            [tuple(sr) for sr in self.saved_regs],
+            [CallSiteRecord(cs.start, cs.end, cs.landing_pad, cs.action) for cs in self.callsites],
+        )
+
+    def __repr__(self):
+        return (
+            f"<FrameRecord {self.func} frame={self.frame_size} "
+            f"saved={self.saved_regs} callsites={len(self.callsites)}>"
+        )

@@ -1,0 +1,42 @@
+"""BELF relocations."""
+
+from repro.belf.constants import RelocType
+
+
+class Relocation:
+    """A relocation against ``section`` at ``offset``.
+
+    ``symbol`` is a link name (see :meth:`Symbol.link_name`).  The linker
+    resolves relocations when producing an executable and — when asked to
+    ``--emit-relocs`` — retains them in the output so a post-link
+    optimizer can re-relocate code, exactly as BFD/Gold do for BOLT's
+    relocations mode (paper section 3.2).
+    """
+
+    __slots__ = ("section", "offset", "type", "symbol", "addend")
+
+    def __init__(self, section, offset, type, symbol, addend=0):
+        self.section = section
+        self.offset = offset
+        self.type = RelocType(type)
+        self.symbol = symbol
+        self.addend = addend
+
+    def __repr__(self):
+        return (
+            f"<Reloc {self.section}+0x{self.offset:x} {self.type.name} "
+            f"{self.symbol}+{self.addend}>"
+        )
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Relocation)
+            and self.section == other.section
+            and self.offset == other.offset
+            and self.type == other.type
+            and self.symbol == other.symbol
+            and self.addend == other.addend
+        )
+
+    def __hash__(self):
+        return hash((self.section, self.offset, self.type, self.symbol, self.addend))

@@ -1,0 +1,274 @@
+"""Byte-level (de)serialization of BELF files.
+
+The on-disk format is deliberately simple but real: the rewriting step
+of the BOLT pipeline ("rewrite binary file", Figure 3) produces actual
+bytes that round-trip through this module, and the loader/simulator only
+ever sees deserialized files.
+
+Layout (all integers little-endian):
+
+    magic "BELF", version u16, kind u8, flags u8 (bit0 = emit_relocs)
+    entry u64
+    name: str
+    section count u32, then per section:
+        name str, type u8, flags u8, align u16, addr u64, mem_size u64,
+        data u64-length + bytes (PROGBITS only)
+    symbol count u32, then per symbol:
+        name str, module str ("" = None), section str ("" = None),
+        type u8, bind u8, value u64, size u64
+    relocation count u32, then per reloc:
+        section str, offset u64, type u8, symbol str, addend i64
+    frame record count u32, then per record:
+        func str, frame_size u32, saved count u16 x (reg u8, off u32),
+        callsite count u16 x (start u32, end u32, lp u32, action u16)
+    line flag u8; if 1: entry count u32 x (addr u64, file str, line u32)
+"""
+
+import struct
+
+from repro.belf.binary import Binary
+from repro.belf.constants import SectionType, SectionFlag, SymbolType, SymbolBind, RelocType
+from repro.belf.frameinfo import CallSiteRecord, FrameRecord
+from repro.belf.linetable import LineTable
+from repro.belf.relocation import Relocation
+from repro.belf.section import Section
+from repro.belf.symbol import Symbol
+
+MAGIC = b"BELF"
+VERSION = 1
+
+
+class BelfFormatError(Exception):
+    """Raised on malformed BELF bytes."""
+
+
+class _Writer:
+    def __init__(self):
+        self.buf = bytearray()
+
+    def raw(self, data):
+        self.buf += data
+
+    def u8(self, v):
+        self.buf += struct.pack("<B", v)
+
+    def u16(self, v):
+        self.buf += struct.pack("<H", v)
+
+    def u32(self, v):
+        self.buf += struct.pack("<I", v)
+
+    def u64(self, v):
+        self.buf += struct.pack("<Q", v)
+
+    def i64(self, v):
+        self.buf += struct.pack("<q", v)
+
+    def string(self, s):
+        data = (s or "").encode("utf-8")
+        self.u16(len(data))
+        self.buf += data
+
+
+class _Reader:
+    def __init__(self, data):
+        self.data = data
+        self.pos = 0
+
+    def _unpack(self, fmt, size):
+        if self.pos + size > len(self.data):
+            raise BelfFormatError("truncated BELF file")
+        value = struct.unpack_from(fmt, self.data, self.pos)[0]
+        self.pos += size
+        return value
+
+    def raw(self, n):
+        if self.pos + n > len(self.data):
+            raise BelfFormatError("truncated BELF file")
+        out = self.data[self.pos : self.pos + n]
+        self.pos += n
+        return out
+
+    def u8(self):
+        return self._unpack("<B", 1)
+
+    def u16(self):
+        return self._unpack("<H", 2)
+
+    def u32(self):
+        return self._unpack("<I", 4)
+
+    def u64(self):
+        return self._unpack("<Q", 8)
+
+    def i64(self):
+        return self._unpack("<q", 8)
+
+    def string(self):
+        n = self.u16()
+        return self.raw(n).decode("utf-8")
+
+
+def write_binary(binary):
+    """Serialize a :class:`Binary` to bytes."""
+    w = _Writer()
+    w.raw(MAGIC)
+    w.u16(VERSION)
+    w.u8(0 if binary.kind == "object" else 1)
+    w.u8(1 if binary.emit_relocs else 0)
+    w.u64(binary.entry or 0)
+    w.string(binary.name)
+
+    w.u32(len(binary.sections))
+    for section in binary.sections.values():
+        w.string(section.name)
+        w.u8(int(section.type))
+        w.u8(int(section.flags))
+        w.u16(section.align)
+        w.u64(section.addr)
+        w.u64(section.size)
+        if section.type == SectionType.NOBITS:
+            w.u64(0)
+        else:
+            w.u64(len(section.data))
+            w.raw(bytes(section.data))
+
+    w.u32(len(binary.symbols))
+    for sym in binary.symbols:
+        w.string(sym.name)
+        w.string(sym.module or "")
+        w.string(sym.section or "")
+        w.u8(int(sym.type))
+        w.u8(int(sym.bind))
+        w.u64(sym.value)
+        w.u64(sym.size)
+
+    w.u32(len(binary.relocations))
+    for rel in binary.relocations:
+        w.string(rel.section)
+        w.u64(rel.offset)
+        w.u8(int(rel.type))
+        w.string(rel.symbol)
+        w.i64(rel.addend)
+
+    w.u32(len(binary.frame_records))
+    for record in binary.frame_records.values():
+        w.string(record.func)
+        w.u32(record.frame_size)
+        w.u16(len(record.saved_regs))
+        for reg, off in record.saved_regs:
+            w.u8(reg)
+            w.u32(off)
+        w.u16(len(record.callsites))
+        for cs in record.callsites:
+            w.u32(cs.start)
+            w.u32(cs.end)
+            # Signed: after BOLT's split-eh a landing pad may live in a
+            # different fragment, before or after this one.
+            w.i64(cs.landing_pad)
+            w.u16(cs.action)
+
+    if binary.line_table is not None:
+        w.u8(1)
+        w.u32(len(binary.line_table))
+        for entry in binary.line_table:
+            w.u64(entry.addr)
+            w.string(entry.file)
+            w.u32(entry.line)
+    else:
+        w.u8(0)
+
+    w.u32(len(binary.func_line_tables))
+    for func, rows in binary.func_line_tables.items():
+        w.string(func)
+        w.u32(len(rows))
+        for offset, file, line in rows:
+            w.u64(offset)
+            w.string(file)
+            w.u32(line)
+
+    return bytes(w.buf)
+
+
+def read_binary(data):
+    """Deserialize bytes into a :class:`Binary`."""
+    r = _Reader(data)
+    if r.raw(4) != MAGIC:
+        raise BelfFormatError("bad magic")
+    version = r.u16()
+    if version != VERSION:
+        raise BelfFormatError(f"unsupported version {version}")
+    kind = "exec" if r.u8() else "object"
+    flags = r.u8()
+    binary = Binary(kind=kind)
+    binary.emit_relocs = bool(flags & 1)
+    entry = r.u64()
+    binary.entry = entry or None
+    binary.name = r.string()
+
+    for _ in range(r.u32()):
+        name = r.string()
+        stype = SectionType(r.u8())
+        sflags = SectionFlag(r.u8())
+        align = r.u16()
+        addr = r.u64()
+        mem_size = r.u64()
+        data_len = r.u64()
+        payload = r.raw(data_len)
+        section = Section(
+            name,
+            type=stype,
+            flags=sflags,
+            addr=addr,
+            data=payload,
+            align=align,
+            mem_size=mem_size if stype == SectionType.NOBITS else None,
+        )
+        binary.add_section(section)
+
+    for _ in range(r.u32()):
+        name = r.string()
+        module = r.string() or None
+        section = r.string() or None
+        stype = SymbolType(r.u8())
+        bind = SymbolBind(r.u8())
+        value = r.u64()
+        size = r.u64()
+        binary.add_symbol(
+            Symbol(name, value=value, size=size, type=stype, bind=bind,
+                   section=section, module=module)
+        )
+
+    for _ in range(r.u32()):
+        section = r.string()
+        offset = r.u64()
+        rtype = RelocType(r.u8())
+        symbol = r.string()
+        addend = r.i64()
+        binary.relocations.append(Relocation(section, offset, rtype, symbol, addend))
+
+    for _ in range(r.u32()):
+        func = r.string()
+        frame_size = r.u32()
+        saved = [(r.u8(), r.u32()) for _ in range(r.u16())]
+        callsites = [
+            CallSiteRecord(r.u32(), r.u32(), r.i64(), r.u16())
+            for _ in range(r.u16())
+        ]
+        binary.frame_records[func] = FrameRecord(func, frame_size, saved, callsites)
+
+    if r.u8():
+        table = LineTable()
+        for _ in range(r.u32()):
+            addr = r.u64()
+            file = r.string()
+            line = r.u32()
+            table.add(addr, file, line)
+        binary.line_table = table
+
+    for _ in range(r.u32()):
+        func = r.string()
+        rows = [(r.u64(), r.string(), r.u32()) for _ in range(r.u32())]
+        binary.func_line_tables[func] = rows
+
+    return binary

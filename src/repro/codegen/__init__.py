@@ -1,0 +1,16 @@
+"""BX86 code generation: instruction selection, frames, object emission."""
+
+from repro.codegen.options import CodegenOptions
+from repro.codegen.machine import MachineBlock, MachineFunction
+from repro.codegen.isel import select_function, CodegenError
+from repro.codegen.emitter import emit_object, assemble_function
+
+__all__ = [
+    "CodegenOptions",
+    "MachineBlock",
+    "MachineFunction",
+    "select_function",
+    "CodegenError",
+    "emit_object",
+    "assemble_function",
+]

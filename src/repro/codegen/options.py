@@ -1,0 +1,53 @@
+"""Code generation options.
+
+Several of these exist to give specific BOLT passes their real-world
+material and are therefore deliberately "as compilers actually behave"
+rather than maximally clean:
+
+* ``repz_ret`` — emit AMD-friendly ``repz retq`` returns
+  (``strip-rep-ret`` material, paper Table 1 pass 1).
+* ``align_loops`` — pad loop headers with multi-byte NOPs
+  (BOLT's discard-alignment-NOPs policy, paper section 4).
+* ``naive_param_homing`` — store incoming promoted parameters to their
+  shadow stack slots even when only the register copy is ever read
+  (``frame-opts`` removable-spill material, pass 15).
+* ``frame_info`` — emit CFI-lite frame records; hand-written assembly
+  in the workloads turns this off (hybrid discovery, section 3.3).
+"""
+
+
+class CodegenOptions:
+    def __init__(
+        self,
+        repz_ret=True,
+        align_loops=True,
+        align_to=16,
+        naive_param_homing=True,
+        tail_calls=True,
+        frame_info=True,
+        dense_switch_min_cases=4,
+        dense_switch_max_ratio=3,
+    ):
+        self.repz_ret = repz_ret
+        self.align_loops = align_loops
+        self.align_to = align_to
+        self.naive_param_homing = naive_param_homing
+        self.tail_calls = tail_calls
+        self.frame_info = frame_info
+        self.dense_switch_min_cases = dense_switch_min_cases
+        self.dense_switch_max_ratio = dense_switch_max_ratio
+
+    def copy(self, **overrides):
+        out = CodegenOptions(
+            repz_ret=self.repz_ret,
+            align_loops=self.align_loops,
+            align_to=self.align_to,
+            naive_param_homing=self.naive_param_homing,
+            tail_calls=self.tail_calls,
+            frame_info=self.frame_info,
+            dense_switch_min_cases=self.dense_switch_min_cases,
+            dense_switch_max_ratio=self.dense_switch_max_ratio,
+        )
+        for key, value in overrides.items():
+            setattr(out, key, value)
+        return out

@@ -1,0 +1,42 @@
+"""Compiler driver: source modules -> BELF objects/executables.
+
+Supports the build modes the paper's evaluation compares (section 6):
+
+* plain ``-O2`` (the baseline),
+* instrumented PGO (``-fprofile-generate``/``-fprofile-use`` analog),
+* sample-based AutoFDO (profile mapped back through debug line info),
+* LTO (cross-module inlining),
+
+in any combination — so the harness can construct every build
+configuration in Figures 7 and 8 (BOLT, PGO, PGO+LTO, PGO+LTO+BOLT).
+"""
+
+from repro.compiler.driver import (
+    BuildOptions,
+    compile_program,
+    build_ir,
+    build_executable,
+    make_counter_object,
+    CompileResult,
+)
+from repro.compiler.fdo import (
+    attach_edge_profile,
+    attach_source_profile,
+    EdgeProfile,
+    SourceProfile,
+    collect_edge_profile,
+)
+
+__all__ = [
+    "BuildOptions",
+    "compile_program",
+    "build_ir",
+    "build_executable",
+    "make_counter_object",
+    "CompileResult",
+    "attach_edge_profile",
+    "attach_source_profile",
+    "EdgeProfile",
+    "SourceProfile",
+    "collect_edge_profile",
+]

@@ -1,0 +1,109 @@
+"""Feedback-directed optimization: attaching profiles to fresh IR.
+
+Two profile flavours, matching the paper's taxonomy (sections 2.1/2.2):
+
+* :class:`EdgeProfile` — exact block counts from an instrumented run
+  (PGO).  Exact *per pre-inline block*, but context-insensitive: all
+  callers of a function contribute to the same counters, so the branch
+  bias of Figure 2 is averaged away.
+* :class:`SourceProfile` — per-(file, line) sample counts mapped back
+  through debug info (AutoFDO).  Context-insensitive *and* approximate:
+  edge counts must be re-inferred from flow equations (the 84-93%
+  accuracy regime of Chen et al. the paper cites).
+"""
+
+from repro.ir.instrument import derive_edge_counts
+from repro.ir.passes import split_critical_edges
+
+
+class EdgeProfile:
+    """Exact block counts keyed by (function link name, block name)."""
+
+    def __init__(self, block_counts=None):
+        self.block_counts = dict(block_counts or {})
+
+    def count(self, func_link, block_name):
+        return self.block_counts.get((func_link, block_name), 0)
+
+    def total(self):
+        return sum(self.block_counts.values())
+
+    def __len__(self):
+        return len(self.block_counts)
+
+
+class SourceProfile:
+    """Sample counts keyed by (file, line) — the AutoFDO view."""
+
+    def __init__(self, line_counts=None):
+        self.line_counts = dict(line_counts or {})
+
+    def count(self, loc):
+        if loc is None:
+            return 0
+        return self.line_counts.get(loc, 0)
+
+    def total(self):
+        return sum(self.line_counts.values())
+
+    def __len__(self):
+        return len(self.line_counts)
+
+
+def attach_edge_profile(func, profile):
+    """Attach an instrumented profile to a *fresh* (unoptimized) IR
+    function.  Must run right after IR construction: the block names are
+    matched against the instrumented build's pre-optimization CFG."""
+    split_critical_edges(func)
+    link = func.link_name()
+    for name, block in func.blocks.items():
+        block.count = profile.count(link, name)
+    func.entry_count = func.blocks[func.entry].count
+    func.edge_counts = derive_edge_counts(
+        func, {name: block.count for name, block in func.blocks.items()})
+    return func
+
+
+def attach_source_profile(func, profile):
+    """Attach an AutoFDO profile: block counts from line samples, edge
+    counts *inferred* (lossy) from flow equations."""
+    split_critical_edges(func)
+    for block in func.blocks.values():
+        count = 0
+        for inst in block.insts + [block.terminator]:
+            count = max(count, profile.count(inst.loc))
+        block.count = count
+    func.entry_count = func.blocks[func.entry].count
+    func.edge_counts = _infer_edges(func)
+    return func
+
+
+def _infer_edges(func):
+    """Heuristic edge-count inference from block counts alone.
+
+    Outgoing flow of each block is distributed across successors
+    proportionally to the successors' block counts — the kind of
+    approximation non-LBR/AutoFDO pipelines must make (paper 5.2).
+    """
+    counts = {name: (block.count or 0) for name, block in func.blocks.items()}
+    edges = {}
+    for name, block in func.blocks.items():
+        succs = block.successors()
+        if not succs:
+            continue
+        src = counts[name]
+        weights = [counts[s] for s in succs]
+        total = sum(weights)
+        if total == 0:
+            share = [src // len(succs)] * len(succs)
+        else:
+            share = [int(src * w / total) for w in weights]
+        for succ, flow in zip(succs, share):
+            edges[(name, succ)] = edges.get((name, succ), 0) + flow
+    return edges
+
+
+def collect_edge_profile(machine, counter_keys):
+    """Read PGO counters out of a finished instrumented run."""
+    raw = machine.peek_array("__profc", len(counter_keys))
+    return EdgeProfile({key: value for key, value in zip(counter_keys, raw)})

@@ -1,0 +1,35 @@
+"""BOLT: the post-link binary optimizer (the paper's contribution).
+
+The rewriting pipeline follows Figure 3 of the paper:
+
+    function discovery -> read debug info -> read profile data ->
+    disassembly -> CFG construction -> optimization pipeline ->
+    emit and link functions -> rewrite binary file
+
+and the optimization pipeline implements all 16 passes of Table 1.
+"""
+
+from repro.core.options import BoltOptions
+from repro.core.binary_function import BinaryBasicBlock, BinaryFunction, JumpTable
+from repro.core.binary_context import BinaryContext
+from repro.core.rewriter import optimize_binary, RewriteResult
+from repro.core.dyno_stats import DynoStats, compute_dyno_stats
+from repro.core.hfsort import hfsort, hfsort_plus, CallGraph
+from repro.core.reports import report_bad_layout, dump_function
+
+__all__ = [
+    "BoltOptions",
+    "BinaryBasicBlock",
+    "BinaryFunction",
+    "JumpTable",
+    "BinaryContext",
+    "optimize_binary",
+    "RewriteResult",
+    "DynoStats",
+    "compute_dyno_stats",
+    "hfsort",
+    "hfsort_plus",
+    "CallGraph",
+    "report_bad_layout",
+    "dump_function",
+]

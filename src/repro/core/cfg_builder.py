@@ -1,0 +1,302 @@
+"""Disassembly and CFG construction (paper Figure 3, middle stages).
+
+Implements the conservative coverage strategy of section 3.1: any
+function whose control flow cannot be reconstructed with full
+confidence is marked *non-simple* and carried through byte-identical
+(moved but never rewritten).  The chief sources of non-simplicity are
+the same as the paper reports in section 6.4: indirect jumps that are
+not recognizable jump-table dispatches — i.e. indirect tail calls.
+"""
+
+from repro.isa import Op, SymRef, decode_stream, DecodeError
+from repro.core.binary_function import BinaryBasicBlock, JumpTable
+
+#: Pseudo-symbol whose resolved address is 0 — used to keep absolute
+#: branch targets (e.g. calls to PLT stubs) through re-emission.
+ABS_SYMBOL = "__abs__"
+
+
+def build_all_functions(context):
+    """Disassemble + build CFGs for every discovered function."""
+    # Address -> OBJECT symbol index (jump-table discovery).
+    context._object_by_addr = {
+        sym.value: sym for sym in context.object_symbols.values()
+    }
+    for func in context.functions.values():
+        build_function_cfg(context, func)
+
+
+def build_function_cfg(context, func):
+    try:
+        insns = decode_stream(func.raw_bytes, base_address=func.address)
+    except DecodeError as exc:
+        func.mark_non_simple(f"decode-error: {exc}")
+        return func
+
+    # Debug info annotation (read-debug-info stage).
+    if context.binary.line_table is not None:
+        for insn in insns:
+            loc = context.line_for(insn.address)
+            if loc is not None:
+                insn.set_annotation("loc", loc)
+
+    start, end = func.address, func.address + func.size
+
+    # Symbolize function-pointer materializations via relocations first:
+    # even functions that end up non-simple are *moved* in relocations
+    # mode, so their ABS64 references must be re-targetable.
+    if context.use_relocations:
+        _symbolize_abs64(context, func, insns)
+
+    # -- jump-table discovery ------------------------------------------------
+    jump_tables = {}
+    for index, insn in enumerate(insns):
+        if insn.op != Op.JMP_REG:
+            continue
+        table = _match_jump_table(context, func, insns, index)
+        if table is None:
+            func.mark_non_simple("unresolved indirect jump (tail call?)")
+            _build_syntactic_blocks(func, insns)
+            return func
+        jump_tables[index] = table
+
+    # -- classify control transfers, collect leaders ---------------------------
+    leaders = {start}
+    for index, insn in enumerate(insns):
+        if insn.is_branch and insn.target is not None:
+            if start <= insn.target < end:
+                leaders.add(insn.target)
+                leaders.add(insn.address + insn.size)
+            else:
+                ok = _symbolize_external(context, func, insn, tail=True)
+                if not ok:
+                    _build_syntactic_blocks(func, insns)
+                    return func
+                leaders.add(insn.address + insn.size)
+        elif insn.op == Op.CALL:
+            if insn.target == func.address or not (start <= insn.target < end):
+                ok = _symbolize_external(context, func, insn, tail=False)
+                if not ok:
+                    _build_syntactic_blocks(func, insns)
+                    return func
+            else:
+                func.mark_non_simple("call into function body")
+                _build_syntactic_blocks(func, insns)
+                return func
+        elif insn.is_terminator:
+            leaders.add(insn.address + insn.size)
+        if index in jump_tables:
+            for target in jump_tables[index].entries:  # absolute targets
+                leaders.add(target)
+
+    # Landing pads are leaders.
+    record = func.frame_record
+    if record is not None:
+        for cs in record.callsites:
+            leaders.add(func.address + cs.landing_pad)
+
+    leaders.discard(end)
+    bad = [l for l in leaders if not start <= l < end]
+    if bad:
+        func.mark_non_simple(f"branch target outside body: {bad[0]:#x}")
+        _build_syntactic_blocks(func, insns)
+        return func
+
+    # -- label assignment --------------------------------------------------------
+    lp_offsets = set()
+    if record is not None:
+        lp_offsets = {cs.landing_pad for cs in record.callsites}
+    branch_targets = set()
+    for index, insn in enumerate(insns):
+        if insn.is_branch and insn.target is not None and start <= insn.target < end:
+            branch_targets.add(insn.target)
+        if index in jump_tables:
+            branch_targets.update(jump_tables[index].entries)
+
+    labels = {}
+    tmp = ft = lp = 0
+    for addr in sorted(leaders):
+        offset = addr - start
+        if addr == start:
+            labels[addr] = ".LBB0"
+        elif offset in lp_offsets:
+            labels[addr] = f".LLP{lp}"
+            lp += 1
+        elif addr in branch_targets:
+            labels[addr] = f".Ltmp{tmp}"
+            tmp += 1
+        else:
+            labels[addr] = f".LFT{ft}"
+            ft += 1
+
+    # -- block construction ----------------------------------------------------------
+    func.blocks = {}
+    func.entry_label = None
+    current = None
+    sorted_leaders = sorted(leaders)
+    strip_nops = context.options.strip_nops
+    for index, insn in enumerate(insns):
+        if insn.address in labels:
+            current = BinaryBasicBlock(labels[insn.address],
+                                       offset=insn.address - start)
+            current.is_landing_pad = (insn.address - start) in lp_offsets
+            func.add_block(current)
+        if strip_nops and insn.is_nop:
+            continue
+        if index in jump_tables:
+            table = jump_tables[index]
+            table.entries = [labels[t] for t in table.entries]
+            insn.set_annotation("jump-table", table)
+            func.jump_tables.append(table)
+        current.insns.append(insn)
+
+    # -- successor edges ----------------------------------------------------------------
+    order = list(func.blocks.values())
+    for i, block in enumerate(order):
+        next_label = order[i + 1].label if i + 1 < len(order) else None
+        _connect_block(func, block, labels, start, end, next_label)
+
+    # -- landing-pad edges ----------------------------------------------------------------
+    if record is not None:
+        for block in func.blocks.values():
+            for insn in block.insns:
+                if insn.is_call:
+                    lp_off = record.landing_pad_for(insn.address - start)
+                    if lp_off is not None:
+                        lp_label = labels[start + lp_off]
+                        insn.set_annotation("lp", lp_label)
+                        if lp_label not in block.landing_pads:
+                            block.landing_pads.append(lp_label)
+    return func
+
+
+def _match_jump_table(context, func, insns, index):
+    """Recognize MOV_RI32 base, table; LOADIDX r, base, idx; JMP_REG r."""
+    if index < 2:
+        return None
+    jmp = insns[index]
+    loadidx = insns[index - 1]
+    mov = insns[index - 2]
+    if loadidx.op != Op.LOADIDX or loadidx.regs[0] != jmp.regs[0]:
+        return None
+    if mov.op != Op.MOV_RI32 or mov.regs[0] != loadidx.regs[1]:
+        return None
+    table_addr = mov.imm
+    sym = context._object_by_addr.get(table_addr)
+    section = context.section_at(table_addr) if sym is None else None
+    if sym is not None:
+        count = sym.size // 8
+    else:
+        # Heuristic fallback: read entries while they land in the body.
+        if section is None or section.is_exec:
+            return None
+        count = 0
+        while section.contains(table_addr + 8 * count + 7):
+            word = context.read_word(table_addr + 8 * count)
+            if not func.address <= word < func.address + func.size:
+                break
+            count += 1
+            if count > 4096:
+                return None
+        if count == 0:
+            return None
+    entries = []
+    for i in range(count):
+        word = context.read_word(table_addr + 8 * i)
+        if not func.address <= word < func.address + func.size:
+            return None
+        entries.append(word)
+    section = context.section_at(table_addr)
+    return JumpTable(table_addr, 8 * count, entries,
+                     section.name if section else ".rodata")
+
+
+def _symbolize_external(context, func, insn, tail):
+    """Convert an out-of-function branch/call target to a symbol."""
+    target = insn.target
+    entry = context.function_entry_at(target)
+    if entry is not None:
+        insn.sym = SymRef(entry.link_name(), "branch")
+        insn.target = None
+        if tail:
+            insn.set_annotation("tailcall", entry.link_name())
+        return True
+    if context.is_plt_stub(target):
+        got_addr, final = context.plt_map[target]
+        insn.sym = SymRef(ABS_SYMBOL, "branch", addend=target)
+        insn.target = None
+        insn.set_annotation("plt", (got_addr, final))
+        if tail:
+            insn.set_annotation("tailcall", None)
+        return True
+    func.mark_non_simple(f"transfer to unknown target {target:#x}")
+    return False
+
+
+def _symbolize_abs64(context, func, insns):
+    """Use --emit-relocs info to symbolize MOV_RI64 function pointers."""
+    section = context.binary.get_section(func.section)
+    for insn in insns:
+        if insn.op != Op.MOV_RI64:
+            continue
+        offset = insn.address - section.addr + 2
+        reloc = context.reloc_at.get((func.section, offset))
+        if reloc is not None:
+            insn.sym = SymRef(reloc.symbol, "abs64", addend=reloc.addend)
+
+
+def _connect_block(func, block, labels, start, end, next_label):
+    # A block may end [jcc, jmp]: the conditional's taken edge plus the
+    # unconditional's target are both successors, and there is no
+    # physical fall-through.
+    if (len(block.insns) >= 2 and block.insns[-2].is_cond_branch
+            and block.insns[-2].target is not None):
+        jcc = block.insns[-2]
+        jcc.label = labels[jcc.target]
+        jcc.target = None
+        block.set_edge(jcc.label)
+
+    term = block.terminator()
+    if term is None:
+        if next_label is not None:
+            block.fallthrough_label = next_label
+            block.set_edge(next_label)
+        return
+    op = term.op
+    if term.is_cond_branch:
+        if term.target is not None:
+            term.label = labels[term.target]
+            term.target = None
+            block.set_edge(term.label)
+        if next_label is not None:
+            block.fallthrough_label = next_label
+            block.set_edge(next_label)
+    elif op in (Op.JMP_SHORT, Op.JMP_NEAR):
+        if term.sym is not None:
+            return  # tail call: no intra successors
+        if term.label is None:
+            term.label = labels[term.target]
+            term.target = None
+        block.set_edge(term.label)
+    elif op == Op.JMP_REG:
+        table = term.get_annotation("jump-table")
+        for label in table.entries:
+            if label not in block.successors:
+                block.set_edge(label)
+    elif term.is_return or op in (Op.HALT, Op.TRAP, Op.JMP_MEM):
+        return
+    elif term.is_call:
+        # A call is not a terminator; it only ends the block when it is
+        # the last instruction before a leader — fall through.
+        if next_label is not None:
+            block.fallthrough_label = next_label
+            block.set_edge(next_label)
+
+
+def _build_syntactic_blocks(func, insns):
+    """Layout for non-simple functions: byte-identical single block."""
+    func.blocks = {}
+    func.entry_label = None
+    block = BinaryBasicBlock(".LBB0", offset=0)
+    block.insns = insns
+    func.add_block(block)

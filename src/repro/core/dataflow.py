@@ -1,0 +1,187 @@
+"""Dataflow analysis framework for binary functions (paper section 4:
+"BOLT is also equipped with a dataflow-analysis framework to feed
+information to passes that need it ... to check register liveness at a
+given program point, a technique also used by Ispike").
+
+Provides register use/def tables for BX86, backward liveness over
+reconstructed CFGs, dominator computation, and stack-slot access
+summaries used by frame-opts and shrink-wrapping.
+"""
+
+from repro.isa import RBP, RSP, RAX
+from repro.isa.opcodes import Op
+from repro.isa.registers import ARG_REGS, CALLER_SAVED
+
+#: Pseudo-register index representing the flags.
+FLAGS = 16
+
+
+def insn_uses_defs(insn):
+    """(uses, defs) register sets for one instruction."""
+    op = insn.op
+    r = insn.regs
+    if op == Op.MOV_RR:
+        return {r[1]}, {r[0]}
+    if op in (Op.MOV_RI32, Op.MOV_RI64):
+        return set(), {r[0]}
+    if op in (Op.LOAD, Op.LEA):
+        return {r[1]}, {r[0]}
+    if op == Op.STORE:
+        return {r[0], r[1]}, set()
+    if op == Op.LOAD_ABS:
+        return set(), {r[0]}
+    if op == Op.STORE_ABS:
+        return {r[0]}, set()
+    if op == Op.LOADIDX:
+        return {r[1], r[2]}, {r[0]}
+    if op == Op.STOREIDX:
+        return {r[0], r[1], r[2]}, set()
+    if op in (Op.ADD_RR, Op.SUB_RR, Op.IMUL_RR, Op.AND_RR, Op.OR_RR,
+              Op.XOR_RR, Op.IDIV_RR, Op.IMOD_RR, Op.SHL_RR, Op.SHR_RR,
+              Op.SAR_RR):
+        return {r[0], r[1]}, {r[0]}
+    if op in (Op.ADD_RI, Op.SUB_RI, Op.IMUL_RI, Op.AND_RI, Op.OR_RI,
+              Op.XOR_RI, Op.SHL_RI, Op.SHR_RI, Op.SAR_RI, Op.NEG):
+        return {r[0]}, {r[0]}
+    if op in (Op.CMP_RR, Op.TEST_RR):
+        return {r[0], r[1]}, {FLAGS}
+    if op in (Op.CMP_RI, Op.TEST_RI):
+        return {r[0]}, {FLAGS}
+    if op == Op.SETCC:
+        return {FLAGS}, {r[0]}
+    if op == Op.PUSH:
+        return {r[0], RSP}, {RSP}
+    if op == Op.POP:
+        return {RSP}, {r[0], RSP}
+    if op == Op.OUT:
+        return {r[0]}, set()
+    if op in (Op.CALL, Op.CALL_MEM):
+        # Conservative: a call may read every argument register and
+        # clobbers all caller-saved registers; it returns in rax.
+        return set(ARG_REGS) | {RSP}, set(CALLER_SAVED) | {RSP, FLAGS}
+    if op == Op.CALL_REG:
+        return set(ARG_REGS) | {RSP, r[0]}, set(CALLER_SAVED) | {RSP, FLAGS}
+    if op in (Op.JCC_SHORT, Op.JCC_LONG):
+        return {FLAGS}, set()
+    if op in (Op.JMP_REG,):
+        return {r[0]}, set()
+    if op in (Op.RET, Op.REPZ_RET):
+        return {RAX, RSP}, {RSP}
+    # jmp / nop / halt / trap / jmp_mem
+    return set(), set()
+
+
+def block_uses_defs(block):
+    """Upward-exposed uses and defs for a whole block."""
+    uses, defs = set(), set()
+    for insn in block.insns:
+        u, d = insn_uses_defs(insn)
+        uses |= (u - defs)
+        defs |= d
+    return uses, defs
+
+
+def liveness(func):
+    """Backward liveness; returns (live_in, live_out) per block label.
+
+    Exit blocks (returns, tail calls) are assumed to have rax + the
+    callee-saved registers live out (conservative ABI boundary).
+    """
+    from repro.isa.registers import CALLEE_SAVED
+
+    exit_live = set(CALLEE_SAVED) | {RAX, RSP, RBP}
+    gen = {}
+    kill = {}
+    succs = {}
+    for label, block in func.blocks.items():
+        gen[label], kill[label] = block_uses_defs(block)
+        succs[label] = list(block.successors) + list(block.landing_pads)
+
+    live_in = {label: set() for label in func.blocks}
+    live_out = {label: set() for label in func.blocks}
+    changed = True
+    while changed:
+        changed = False
+        for label in reversed(list(func.blocks)):
+            out = set()
+            if not succs[label]:
+                out = set(exit_live)
+            for succ in succs[label]:
+                out |= live_in.get(succ, set())
+            term = func.blocks[label].terminator()
+            if term is not None and (term.is_return
+                                     or term.get_annotation("tailcall", "!") != "!"):
+                out |= exit_live
+            new_in = gen[label] | (out - kill[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+def dominators(func):
+    """Iterative dominator sets: label -> set of dominating labels."""
+    labels = list(func.blocks)
+    preds = func.predecessors()
+    entry = func.entry_label
+    dom = {label: set(labels) for label in labels}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                continue
+            plist = preds[label]
+            if plist:
+                new = set.intersection(*(dom[p] for p in plist)) | {label}
+            else:
+                # Unreachable block: keep the full set so it never
+                # constrains the intersection at blocks it branches to.
+                new = dom[label]
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def reachable_from(func, start):
+    """Labels reachable from ``start`` (following CFG + landing pads)."""
+    seen = set()
+    stack = [start]
+    while stack:
+        label = stack.pop()
+        if label in seen:
+            continue
+        seen.add(label)
+        block = func.blocks[label]
+        stack.extend(block.successors)
+        stack.extend(block.landing_pads)
+    return seen
+
+
+def stack_slot_accesses(func):
+    """Summarize rbp-relative slot accesses.
+
+    Returns (loads, stores, rbp_escapes): sets of disp values read and
+    written through rbp, and whether rbp's value flows anywhere we
+    cannot track (copied to another register) — in which case slot
+    analysis must be abandoned.
+    """
+    loads, stores = set(), set()
+    escapes = False
+    for block in func.blocks.values():
+        for insn in block.insns:
+            op = insn.op
+            if op == Op.LOAD and insn.regs[1] == RBP:
+                loads.add(insn.disp)
+            elif op == Op.STORE and insn.regs[0] == RBP:
+                stores.add(insn.disp)
+            elif op == Op.LEA and insn.regs[1] == RBP:
+                escapes = True
+            elif op == Op.MOV_RR and insn.regs[1] == RBP and insn.regs[0] != RSP:
+                escapes = True
+            elif op in (Op.LOADIDX, Op.STOREIDX) and RBP in insn.regs[1:]:
+                escapes = True
+    return loads, stores, escapes

@@ -1,0 +1,111 @@
+"""Dyno-stats: profile-weighted dynamic execution statistics
+(`-dyno-stats`), the source of the paper's Table 2.
+
+Computed from the annotated CFG: every metric is the profile-weighted
+count of what the *current* code layout would execute.  Comparing
+before/after values reproduces Table 2's rows (e.g. "taken branches
+-69.8%", "taken forward branches -83.9%").
+"""
+
+from repro.isa import Op
+
+
+class DynoStats:
+    FIELDS = (
+        "executed_instructions",
+        "executed_forward_branches",
+        "taken_forward_branches",
+        "executed_backward_branches",
+        "taken_backward_branches",
+        "executed_unconditional_branches",
+        "total_branches",
+        "taken_branches",
+        "non_taken_conditional_branches",
+        "taken_conditional_branches",
+        "executed_calls",
+        "indirect_calls",
+    )
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def __add__(self, other):
+        out = DynoStats()
+        for field in self.FIELDS:
+            setattr(out, field, getattr(self, field) + getattr(other, field))
+        return out
+
+    def delta_vs(self, baseline):
+        """Relative change per field vs a baseline (Table 2 style)."""
+        out = {}
+        for field in self.FIELDS:
+            base = getattr(baseline, field)
+            new = getattr(self, field)
+            out[field] = (new - base) / base if base else None
+        return out
+
+    def as_dict(self):
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def __repr__(self):
+        return (f"<DynoStats instructions={self.executed_instructions} "
+                f"taken={self.taken_branches}/{self.total_branches}>")
+
+
+def compute_function_dyno_stats(func):
+    """Stats for one function in its *current* layout."""
+    stats = DynoStats()
+    if not func.is_simple:
+        return stats
+    layout = func.layout()
+    position = {block.label: i for i, block in enumerate(layout)}
+    for i, block in enumerate(layout):
+        count = block.exec_count
+        if count <= 0:
+            continue
+        stats.executed_instructions += count * len(block.insns)
+        for insn in block.insns:
+            if insn.is_call:
+                stats.executed_calls += count
+                if insn.is_indirect:
+                    stats.indirect_calls += count
+            if insn.is_cond_branch:
+                taken = block.edge_counts.get(insn.label, 0)
+                taken = min(taken, count)
+                not_taken = max(0, count - taken)
+                forward = (insn.label is not None
+                           and position.get(insn.label, i + 1) > i)
+                stats.total_branches += count
+                stats.taken_branches += taken
+                stats.taken_conditional_branches += taken
+                stats.non_taken_conditional_branches += not_taken
+                if forward:
+                    stats.executed_forward_branches += count
+                    stats.taken_forward_branches += taken
+                else:
+                    stats.executed_backward_branches += count
+                    stats.taken_backward_branches += taken
+            elif insn.op in (Op.JMP_SHORT, Op.JMP_NEAR, Op.JMP_REG,
+                             Op.JMP_MEM):
+                stats.total_branches += count
+                stats.taken_branches += count
+                stats.executed_unconditional_branches += count
+                forward = (insn.label is not None
+                           and position.get(insn.label, i + 1) > i)
+                if insn.label is not None:
+                    if forward:
+                        stats.executed_forward_branches += count
+                        stats.taken_forward_branches += count
+                    else:
+                        stats.executed_backward_branches += count
+                        stats.taken_backward_branches += count
+    return stats
+
+
+def compute_dyno_stats(context):
+    """Aggregate dyno-stats over all simple functions."""
+    total = DynoStats()
+    for func in context.simple_functions():
+        total = total + compute_function_dyno_stats(func)
+    return total

@@ -1,0 +1,37 @@
+"""BOLT's optimization passes (paper Table 1)."""
+
+from repro.core.passes.base import BinaryPass, PassManager, build_pipeline
+from repro.core.passes.strip_rep_ret import StripRepRet
+from repro.core.passes.icf import IdenticalCodeFolding
+from repro.core.passes.icp import IndirectCallPromotion
+from repro.core.passes.peepholes import Peepholes
+from repro.core.passes.inline_small import InlineSmall
+from repro.core.passes.simplify_ro_loads import SimplifyRoLoads
+from repro.core.passes.plt import PLTCalls
+from repro.core.passes.reorder_bbs import ReorderBasicBlocks
+from repro.core.passes.uce import EliminateUnreachable
+from repro.core.passes.fixup_branches import FixupBranches
+from repro.core.passes.reorder_functions import ReorderFunctions
+from repro.core.passes.sctc import SimplifyConditionalTailCalls
+from repro.core.passes.frame_opts import FrameOptimization
+from repro.core.passes.shrink_wrapping import ShrinkWrapping
+
+__all__ = [
+    "BinaryPass",
+    "PassManager",
+    "build_pipeline",
+    "StripRepRet",
+    "IdenticalCodeFolding",
+    "IndirectCallPromotion",
+    "Peepholes",
+    "InlineSmall",
+    "SimplifyRoLoads",
+    "PLTCalls",
+    "ReorderBasicBlocks",
+    "EliminateUnreachable",
+    "FixupBranches",
+    "ReorderFunctions",
+    "SimplifyConditionalTailCalls",
+    "FrameOptimization",
+    "ShrinkWrapping",
+]

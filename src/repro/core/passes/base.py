@@ -1,0 +1,84 @@
+"""Pass framework + the Table 1 pipeline order."""
+
+
+class BinaryPass:
+    """Base class: a transformation over the whole BinaryContext."""
+
+    name = "pass"
+
+    def run(self, context):
+        """Run over every optimizable function; returns a stats dict."""
+        stats = {}
+        for func in context.simple_functions():
+            result = self.run_on_function(context, func)
+            if result:
+                for key, value in result.items():
+                    stats[key] = stats.get(key, 0) + value
+        return stats
+
+    def run_on_function(self, context, func):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class PassManager:
+    def __init__(self, passes):
+        self.passes = passes
+        self.stats = {}
+
+    def run(self, context):
+        for pass_ in self.passes:
+            self.stats[pass_.name] = pass_.run(context) or {}
+        return self.stats
+
+
+def build_pipeline(options):
+    """The exact Table 1 sequence, honoring option toggles."""
+    from repro.core.passes.strip_rep_ret import StripRepRet
+    from repro.core.passes.icf import IdenticalCodeFolding
+    from repro.core.passes.icp import IndirectCallPromotion
+    from repro.core.passes.peepholes import Peepholes
+    from repro.core.passes.inline_small import InlineSmall
+    from repro.core.passes.simplify_ro_loads import SimplifyRoLoads
+    from repro.core.passes.plt import PLTCalls
+    from repro.core.passes.reorder_bbs import ReorderBasicBlocks
+    from repro.core.passes.uce import EliminateUnreachable
+    from repro.core.passes.fixup_branches import FixupBranches
+    from repro.core.passes.reorder_functions import ReorderFunctions
+    from repro.core.passes.sctc import SimplifyConditionalTailCalls
+    from repro.core.passes.frame_opts import FrameOptimization
+    from repro.core.passes.shrink_wrapping import ShrinkWrapping
+
+    passes = []
+    if options.strip_rep_ret:
+        passes.append(StripRepRet())                    # 1
+    if options.icf:
+        passes.append(IdenticalCodeFolding(round=1))    # 2
+    if options.icp:
+        passes.append(IndirectCallPromotion())          # 3
+    if options.peepholes:
+        passes.append(Peepholes(round=1))               # 4
+    if options.inline_small:
+        passes.append(InlineSmall())                    # 5
+    if options.simplify_ro_loads:
+        passes.append(SimplifyRoLoads())                # 6
+    if options.icf:
+        passes.append(IdenticalCodeFolding(round=2))    # 7
+    if options.plt:
+        passes.append(PLTCalls())                       # 8
+    passes.append(ReorderBasicBlocks())                 # 9 (honors options)
+    if options.peepholes:
+        passes.append(Peepholes(round=2))               # 10
+    if options.uce:
+        passes.append(EliminateUnreachable())           # 11
+    passes.append(FixupBranches())                      # 12
+    passes.append(ReorderFunctions())                   # 13 (honors options)
+    if options.sctc:
+        passes.append(SimplifyConditionalTailCalls())   # 14
+        if options.uce:
+            passes.append(EliminateUnreachable(name="uce-2"))
+        passes.append(FixupBranches(name="fixup-branches-2"))
+    if options.frame_opts:
+        passes.append(FrameOptimization())              # 15
+    if options.shrink_wrapping:
+        passes.append(ShrinkWrapping())                 # 16
+    return PassManager(passes)

@@ -1,0 +1,39 @@
+"""Pass 15: frame optimization — remove unnecessary spills.
+
+Compilers home incoming arguments to shadow stack slots even when only
+the register copy is ever read.  With whole-function dataflow over the
+reconstructed CFG, BOLT deletes stores to rbp-relative slots that are
+never loaded — provided rbp provably does not escape (no aliasing) and
+the slot is not one of the callee-saved save slots the unwinder needs.
+"""
+
+from repro.isa import Op, RBP
+from repro.core.dataflow import stack_slot_accesses
+from repro.core.passes.base import BinaryPass
+
+
+class FrameOptimization(BinaryPass):
+    name = "frame-opts"
+
+    def run_on_function(self, context, func):
+        loads, stores, escapes = stack_slot_accesses(func)
+        if escapes:
+            return {"skipped-escape": 1}
+        protected = set()
+        if func.frame_record is not None:
+            protected = {-offset for _, offset in func.frame_record.saved_regs}
+        dead = {disp for disp in stores
+                if disp not in loads and disp not in protected and disp < 0}
+        if not dead:
+            return {}
+        removed = 0
+        for block in func.blocks.values():
+            kept = []
+            for insn in block.insns:
+                if (insn.op == Op.STORE and insn.regs[0] == RBP
+                        and insn.disp in dead):
+                    removed += 1
+                    continue
+                kept.append(insn)
+            block.insns = kept
+        return {"removed-stores": removed}

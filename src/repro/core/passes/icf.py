@@ -1,0 +1,109 @@
+"""Passes 2 & 7: identical code folding.
+
+Complements linker ICF (paper section 4): because BOLT folds on the
+*reconstructed CFG* with symbolized references, it can fold functions
+the linker could not — e.g. functions with jump tables (whose table
+bytes differ because they hold absolute addresses into each copy) and
+functions the compiler did not place in comparable sections.
+"""
+
+from repro.core.passes.base import BinaryPass
+
+
+def _function_key(func):
+    """A structural key: code with labels/tables normalized to indices."""
+    index = {label: i for i, label in enumerate(func.blocks)}
+    table_ids = {id(t): i for i, t in enumerate(func.jump_tables)}
+    # Table *addresses* appear as MOV_RI32 immediates (the dispatch base
+    # materialization); normalize them so two copies of a switch-heavy
+    # function compare equal even though their tables live at different
+    # addresses — the folding linkers cannot do (paper section 4).
+    table_addrs = {t.address: i for i, t in enumerate(func.jump_tables)}
+    blocks = []
+    for label, block in func.blocks.items():
+        insn_keys = []
+        for insn in block.insns:
+            table = insn.get_annotation("jump-table")
+            imm = insn.imm
+            if imm in table_addrs:
+                imm = ("jt", table_addrs[imm])
+            insn_keys.append((
+                int(insn.op),
+                insn.regs,
+                imm if table is None else None,
+                insn.disp,
+                insn.addr,
+                int(insn.cc) if insn.cc is not None else None,
+                index.get(insn.label, insn.label),
+                (insn.sym.name, insn.sym.kind, insn.sym.addend)
+                if insn.sym is not None else None,
+                table_ids.get(id(table)),
+            ))
+        blocks.append((
+            index[label],
+            tuple(insn_keys),
+            tuple(index.get(s, s) for s in block.successors),
+            index.get(block.fallthrough_label),
+            tuple(index.get(lp, lp) for lp in block.landing_pads),
+            block.is_landing_pad,
+        ))
+    tables = tuple(
+        tuple(index.get(e, e) for e in t.entries) for t in func.jump_tables)
+    record = func.frame_record
+    frame = None
+    if record is not None:
+        frame = (record.frame_size, tuple(map(tuple, record.saved_regs)),
+                 tuple((c.start, c.end, c.landing_pad, c.action)
+                       for c in record.callsites))
+    return (tuple(blocks), tables, frame)
+
+
+class IdenticalCodeFolding(BinaryPass):
+    def __init__(self, round=1):
+        self.round = round
+        self.name = "icf" if round == 1 else "icf-2"
+
+    def run(self, context):
+        folded = 0
+        saved_bytes = 0
+        changed = True
+        while changed:
+            changed = False
+            by_key = {}
+            for func in context.simple_functions():
+                # A function folding into itself via recursion-by-name
+                # would change semantics; keys include self-references
+                # symbolically, so fold only when safe: replace
+                # self-referencing SymRefs by a marker first.
+                key = _normalize_self(func)
+                survivor = by_key.get(key)
+                if survivor is None:
+                    by_key[key] = func
+                    continue
+                func.is_folded = True
+                func.folded_into = survivor
+                survivor.exec_count += func.exec_count
+                for label, block in func.blocks.items():
+                    twin = survivor.blocks.get(label)
+                    if twin is not None:
+                        twin.exec_count += block.exec_count
+                        for succ, count in block.edge_counts.items():
+                            twin.edge_counts[succ] = (
+                                twin.edge_counts.get(succ, 0) + count)
+                folded += 1
+                saved_bytes += func.size
+                changed = True
+        return {"folded": folded, "saved_bytes": saved_bytes}
+
+
+def _normalize_self(func):
+    key = _function_key(func)
+
+    def swap(item):
+        if isinstance(item, tuple):
+            return tuple(swap(x) for x in item)
+        if item == func.name:
+            return "__self__"
+        return item
+
+    return swap(key)

@@ -1,0 +1,79 @@
+"""Pass 14: simplify conditional tail calls.
+
+Pattern (frameless dispatchers produce it — there is no epilogue to
+tear down):
+
+    jcc .L            jcc target      # conditional tail call
+    ...          =>   ...
+ .L: jmp target
+
+The intermediate block usually becomes unreachable and is removed by a
+follow-up UCE/fixup round.
+"""
+
+from repro.isa import Op
+from repro.core.passes.base import BinaryPass
+
+
+class SimplifyConditionalTailCalls(BinaryPass):
+    name = "sctc"
+
+    def run_on_function(self, context, func):
+        # Tail-call-only blocks: a single unconditional jump to a symbol.
+        tail_blocks = {}
+        for label, block in func.blocks.items():
+            if block.is_landing_pad or label == func.entry_label:
+                continue
+            if len(block.insns) != 1:
+                continue
+            insn = block.insns[0]
+            if (insn.op in (Op.JMP_SHORT, Op.JMP_NEAR)
+                    and insn.sym is not None):
+                tail_blocks[label] = insn
+
+        if not tail_blocks:
+            return {}
+        preds = func.predecessors()
+        simplified = 0
+        for block in func.blocks.values():
+            for insn in block.insns:
+                if not insn.is_cond_branch:
+                    continue
+                if insn.label in tail_blocks:
+                    # jcc L; ... L: jmp target  =>  jcc target
+                    target_jmp = tail_blocks[insn.label]
+                    old_label = insn.label
+                    insn.label = None
+                    self._copy_tail_target(insn, target_jmp)
+                    block.remove_successor(old_label)
+                    simplified += 1
+                elif (insn is block.insns[-1]
+                      and block.fallthrough_label in tail_blocks
+                      and len(preds[block.fallthrough_label]) == 1):
+                    # jcc L with the tail call on the fall-through path:
+                    # invert so the tail call is the taken side.
+                    from repro.isa import negate_cc
+
+                    ft = block.fallthrough_label
+                    target_jmp = tail_blocks[ft]
+                    old_label = insn.label
+                    insn.cc = negate_cc(insn.cc)
+                    insn.label = None
+                    self._copy_tail_target(insn, target_jmp)
+                    block.remove_successor(ft)
+                    block.fallthrough_label = old_label
+                    simplified += 1
+        return {"simplified": simplified}
+
+    @staticmethod
+    def _copy_tail_target(insn, target_jmp):
+        insn.sym = target_jmp.sym
+        if insn.op == Op.JCC_SHORT:
+            # A symbolic target needs the rel32 encoding.
+            insn.op = Op.JCC_LONG
+            insn.size = 6
+        if target_jmp.get_annotation("tailcall", "!") != "!":
+            insn.set_annotation("tailcall",
+                                target_jmp.get_annotation("tailcall"))
+        if target_jmp.get_annotation("plt") is not None:
+            insn.set_annotation("plt", target_jmp.get_annotation("plt"))

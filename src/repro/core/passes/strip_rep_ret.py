@@ -1,0 +1,24 @@
+"""Pass 1: strip-rep-ret.
+
+Replaces 2-byte ``repz retq`` returns (emitted for legacy AMD branch
+predictors) with plain 1-byte ``retq``, trading optional instruction
+padding for I-cache space (paper section 4's aggressive I-cache
+occupation policy).
+"""
+
+from repro.isa import Op
+from repro.core.passes.base import BinaryPass
+
+
+class StripRepRet(BinaryPass):
+    name = "strip-rep-ret"
+
+    def run_on_function(self, context, func):
+        stripped = 0
+        for block in func.blocks.values():
+            for insn in block.insns:
+                if insn.op == Op.REPZ_RET:
+                    insn.op = Op.RET
+                    insn.size = 1
+                    stripped += 1
+        return {"stripped": stripped}

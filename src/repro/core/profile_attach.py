@@ -1,0 +1,211 @@
+"""Attaching a sampled BinaryProfile to reconstructed CFGs.
+
+Implements the paper's section 5.2 semantics:
+
+* **LBR mode** — taken-branch records map directly onto CFG edges;
+  fall-through counts are *inferred* by attributing each block's surplus
+  out-flow to its not-taken successor ("BOLT satisfies the flow
+  equation by attributing all surplus flow to the non-taken path ...
+  trusting the original layout done by the static compiler").
+* **non-LBR mode** — only per-address sample counts exist; block counts
+  are summed samples and edge counts are recovered with min-cost flow
+  (Levin/FDPR) or a proportional heuristic.
+
+Each function is stamped with a profile-match score (the "Profile Acc"
+of the paper's Figure 4 dump): the fraction of branch records that
+landed on recognizable (branch-site, target) pairs.
+"""
+
+import bisect
+
+from repro.profiling.mcf import min_cost_flow_edges
+
+
+def attach_profile(context, profile):
+    """Annotate every simple function; returns per-function match rates."""
+    entry_counts = _function_entry_counts(profile)
+    rates = {}
+    for func in context.functions.values():
+        func.exec_count = entry_counts.get(func.name, 0)
+        if not func.is_simple:
+            continue
+        if profile.lbr:
+            rates[func.name] = _attach_lbr(context, func, profile)
+        else:
+            rates[func.name] = _attach_nolbr(context, func, profile)
+        func.has_profile = any(
+            b.exec_count for b in func.blocks.values()) or func.exec_count > 0
+    return rates
+
+
+def _function_entry_counts(profile):
+    counts = {}
+    for (f, t), (count, _) in profile.branches.items():
+        if t[1] == 0 and f[0] != t[0]:
+            counts[t[0]] = counts.get(t[0], 0) + count
+    if not counts:
+        # non-LBR: approximate via samples at function entry blocks is
+        # meaningless; use total samples as a hotness proxy instead.
+        for (name, _), count in profile.ip_samples.items():
+            counts[name] = counts.get(name, 0) + count
+    return counts
+
+
+class _OffsetIndex:
+    """offset -> block containing it (blocks sorted by original offset)."""
+
+    def __init__(self, func):
+        blocks = sorted(func.blocks.values(), key=lambda b: b.offset)
+        self.starts = [b.offset for b in blocks]
+        self.blocks = blocks
+        self.by_offset = {b.offset: b for b in blocks}
+
+    def containing(self, offset):
+        idx = bisect.bisect_right(self.starts, offset) - 1
+        if idx < 0:
+            return None
+        return self.blocks[idx]
+
+    def at(self, offset):
+        return self.by_offset.get(offset)
+
+
+def _attach_lbr(context, func, profile):
+    index = _OffsetIndex(func)
+    records = profile.branches_within(func.name)
+    matched = total = 0
+
+    # Reset profile annotations.
+    for block in func.blocks.values():
+        block.exec_count = 0
+        for succ in block.successors:
+            block.edge_counts[succ] = 0
+            block.edge_mispreds[succ] = 0
+
+    taken_in = {label: 0 for label in func.blocks}
+    taken_out = {label: 0 for label in func.blocks}
+    indirect_targets = {}
+
+    for (from_off, to_off), (count, mispreds) in records.items():
+        total += count
+        from_block = index.containing(from_off)
+        to_block = index.at(to_off)
+        if from_block is None or to_block is None:
+            continue
+        branch = _branch_at(from_block, func.address + from_off)
+        if branch is None:
+            continue
+        if to_block.label not in from_block.successors:
+            continue
+        from_block.edge_counts[to_block.label] = (
+            from_block.edge_counts.get(to_block.label, 0) + count)
+        from_block.edge_mispreds[to_block.label] = (
+            from_block.edge_mispreds.get(to_block.label, 0) + mispreds)
+        taken_in[to_block.label] += count
+        taken_out[from_block.label] += count
+        matched += count
+
+    # Indirect call targets (ICP fodder, section 5.3), with the LBR
+    # mispredict bits so ICP can target BTB-hostile call sites.
+    for (f, t), (count, mispreds) in profile.branches.items():
+        if f[0] != func.name or t[0] == func.name or t[1] != 0:
+            continue
+        block = index.containing(f[1])
+        if block is None:
+            continue
+        insn = _insn_at(block, func.address + f[1])
+        if insn is not None and insn.is_call and insn.is_indirect:
+            targets = insn.get_annotation("call-targets") or {}
+            targets[t[0]] = targets.get(t[0], 0) + count
+            insn.set_annotation("call-targets", targets)
+            insn.set_annotation(
+                "call-mispreds",
+                (insn.get_annotation("call-mispreds") or 0) + mispreds)
+
+    # Block counts via the trust-the-fall-through flow repair.
+    trust = context.options.trust_fall_through
+    layout = func.layout()
+    for i, block in enumerate(layout):
+        count = taken_in[block.label]
+        if block.label == func.entry_label:
+            count += func.exec_count
+        if i > 0:
+            prev = layout[i - 1]
+            if prev.fallthrough_label == block.label:
+                if trust:
+                    surplus = max(0, prev.exec_count - taken_out[prev.label])
+                else:
+                    surplus = 0
+                prev.edge_counts[block.label] = (
+                    prev.edge_counts.get(block.label, 0) + surplus)
+                count += surplus
+        block.exec_count = count
+
+    func.profile_match = (matched / total) if total else None
+    return func.profile_match
+
+
+def _attach_nolbr(context, func, profile):
+    samples = profile.samples_within(func.name)
+    index = _OffsetIndex(func)
+    for block in func.blocks.values():
+        block.exec_count = 0
+    for offset, count in samples.items():
+        block = index.containing(offset)
+        if block is not None:
+            block.exec_count += count
+
+    counts = {label: block.exec_count for label, block in func.blocks.items()}
+    edges = []
+    exits = []
+    for label, block in func.blocks.items():
+        for succ in block.successors:
+            edges.append((label, succ))
+        term = block.terminator()
+        if (term is None and block.fallthrough_label is None) or (
+                term is not None and (term.is_return or term.op.name in
+                                      ("HALT", "TRAP", "JMP_MEM")
+                                      or term.get_annotation("tailcall", "x") != "x")):
+            exits.append(label)
+    if not exits:
+        exits = [label for label, b in func.blocks.items() if not b.successors]
+
+    if context.options.use_mcf and edges:
+        flows = min_cost_flow_edges(list(func.blocks), edges, counts,
+                                    func.entry_label, exits or [func.entry_label])
+    else:
+        flows = _proportional_edges(func, counts)
+    for (src, dst), flow in flows.items():
+        func.blocks[src].edge_counts[dst] = flow
+    func.profile_match = None
+    return None
+
+
+def _proportional_edges(func, counts):
+    flows = {}
+    for label, block in func.blocks.items():
+        succs = block.successors
+        if not succs:
+            continue
+        weights = [counts.get(s, 0) for s in succs]
+        total = sum(weights)
+        src = counts.get(label, 0)
+        for succ, weight in zip(succs, weights):
+            flows[(label, succ)] = (src * weight // total) if total else 0
+    return flows
+
+
+def _branch_at(block, address):
+    for insn in block.insns:
+        if insn.address == address and (insn.is_branch or insn.is_call
+                                        or insn.is_return or
+                                        insn.is_indirect_branch):
+            return insn
+    return None
+
+
+def _insn_at(block, address):
+    for insn in block.insns:
+        if insn.address == address:
+            return insn
+    return None

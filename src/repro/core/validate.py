@@ -1,0 +1,85 @@
+"""CFG invariant checking for BinaryFunctions.
+
+Used by the test-suite to validate the IR between optimization passes:
+every structural property the emitter and profile code rely on is
+checked, so a pass that corrupts the CFG fails fast with a precise
+message instead of producing a subtly-wrong binary.
+"""
+
+from repro.isa import Op
+
+
+class ValidationError(AssertionError):
+    pass
+
+
+def validate_function(func):
+    """Check structural invariants of one simple function."""
+    if not func.is_simple:
+        return
+    problems = []
+    labels = set(func.blocks)
+
+    if func.entry_label not in labels:
+        problems.append(f"entry block {func.entry_label} missing")
+
+    for label, block in func.blocks.items():
+        if block.label != label:
+            problems.append(f"{label}: key/label mismatch ({block.label})")
+        for succ in block.successors:
+            if succ not in labels:
+                problems.append(f"{label}: successor {succ} does not exist")
+        for lp in block.landing_pads:
+            if lp not in labels:
+                problems.append(f"{label}: landing pad {lp} does not exist")
+            elif not func.blocks[lp].is_landing_pad:
+                problems.append(f"{label}: {lp} is not a landing-pad block")
+        if (block.fallthrough_label is not None
+                and block.fallthrough_label not in block.successors):
+            problems.append(
+                f"{label}: fall-through {block.fallthrough_label} "
+                f"not among successors {block.successors}")
+        for succ in block.edge_counts:
+            if succ not in block.successors:
+                problems.append(
+                    f"{label}: edge count for non-successor {succ}")
+
+        for index, insn in enumerate(block.insns):
+            last = index == len(block.insns) - 1
+            if insn.is_branch and insn.label is not None:
+                if insn.label not in labels:
+                    problems.append(
+                        f"{label}: branch to unknown label {insn.label}")
+                elif insn.label not in block.successors:
+                    problems.append(
+                        f"{label}: branch target {insn.label} missing from "
+                        f"successors")
+            if insn.label is not None and insn.sym is not None:
+                problems.append(f"{label}: insn has both label and sym")
+            if not last and insn.is_terminator:
+                # Terminators may only appear at block end.
+                problems.append(
+                    f"{label}: terminator {insn.mnemonic()} mid-block "
+                    f"(index {index})")
+            lp = insn.get_annotation("lp")
+            if lp is not None and lp not in block.landing_pads:
+                problems.append(
+                    f"{label}: call's landing pad {lp} not registered on "
+                    f"the block")
+
+        term = block.terminator()
+        if term is not None and term.is_terminator and not term.is_return \
+                and term.op not in (Op.HALT, Op.TRAP):
+            if (term.op in (Op.JMP_SHORT, Op.JMP_NEAR)
+                    and term.label is None and term.sym is None):
+                problems.append(f"{label}: jump with no target")
+
+    if problems:
+        raise ValidationError(
+            f"{func.name}: " + "; ".join(problems[:10]))
+
+
+def validate_context(context):
+    """Validate every simple function in a BinaryContext."""
+    for func in context.simple_functions():
+        validate_function(func)

@@ -1,0 +1,76 @@
+"""``python -m repro.experiments`` — regenerate the paper's tables from
+the command line, without pytest.
+
+    python -m repro.experiments fig5 [--iterations N]
+    python -m repro.experiments fig6
+    python -m repro.experiments fig7-8
+    python -m repro.experiments fig11
+    python -m repro.experiments tab2
+"""
+
+import argparse
+import sys
+
+from repro.harness import experiments as X
+
+
+def _fig5(args):
+    data = X.figure5(iterations=args.iterations)
+    print(f"{'workload':12s}{'before':>12s}{'after':>12s}{'speedup':>10s}")
+    for name, before, after, gain in data["rows"]:
+        print(f"{name:12s}{before:>12,}{after:>12,}{gain:>+10.1%}")
+    print(f"{'GeoMean':12s}{'':>12s}{'':>12s}{data['geomean']:>+10.1%}")
+
+
+def _fig6(args):
+    for label, value in X.figure6().items():
+        print(f"{label:10s} {value:+.1%}")
+
+
+def _fig78(args):
+    table = X.figures7and8(iterations=args.iterations)
+    keys = ("BOLT", "PGO", "PGO+BOLT", "PGO+LTO", "PGO+LTO+BOLT")
+    print(f"{'input':10s}" + "".join(f"{k:>14s}" for k in keys))
+    for label, row in table.items():
+        print(f"{label:10s}" + "".join(f"{row[k]:>+14.1%}" for k in keys))
+
+
+def _fig11(args):
+    data = X.figure11(iterations=args.iterations)
+    print(f"{'scope':12s}{'with LBR':>10s}{'w/o LBR':>10s}{'LBR value':>11s}")
+    for scope, (with_lbr, without) in data.items():
+        print(f"{scope:12s}{with_lbr:>+10.1%}{without:>+10.1%}"
+              f"{with_lbr - without:>+11.1%}")
+
+
+def _tab2(args):
+    data = X.table2(iterations=args.iterations)
+    fields = sorted(data["over_baseline"])
+    print(f"{'metric':36s}{'over base':>12s}{'over PGO+LTO':>14s}")
+    for field in fields:
+        base = data["over_baseline"][field]
+        pgo = data["over_pgo_lto"][field]
+        base_s = f"{base:+.1%}" if base is not None else "n/a"
+        pgo_s = f"{pgo:+.1%}" if pgo is not None else "n/a"
+        print(f"{field:36s}{base_s:>12s}{pgo_s:>14s}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("experiment",
+                        choices=["fig5", "fig6", "fig7-8", "fig11", "tab2"])
+    parser.add_argument("--iterations", type=int, default=None,
+                        help="override workload iteration counts")
+    args = parser.parse_args(argv)
+    {
+        "fig5": _fig5,
+        "fig6": _fig6,
+        "fig7-8": _fig78,
+        "fig11": _fig11,
+        "tab2": _tab2,
+    }[args.experiment](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,46 @@
+"""End-to-end experiment harness.
+
+Composes the whole reproduction: generate a workload, build it in any
+of the paper's configurations (O2 / PGO / AutoFDO / LTO / link-time
+HFSort), collect a sampled profile, run BOLT, and measure with the
+microarchitecture model.  Every benchmark under ``benchmarks/`` is a
+thin wrapper over these flows.
+"""
+
+from repro.harness.pipeline import (
+    BuiltBinary,
+    build_workload,
+    measure,
+    sample_profile,
+    run_bolt,
+    speedup,
+    hfsort_link_order,
+)
+from repro.harness.metrics import (
+    miss_reduction,
+    counter_reductions,
+    summarize_counters,
+)
+from repro.harness.heatmap import (
+    fetch_heatmap,
+    hot_footprint,
+    hot_span,
+    render_heatmap,
+)
+
+__all__ = [
+    "BuiltBinary",
+    "build_workload",
+    "measure",
+    "sample_profile",
+    "run_bolt",
+    "speedup",
+    "hfsort_link_order",
+    "miss_reduction",
+    "counter_reductions",
+    "summarize_counters",
+    "fetch_heatmap",
+    "hot_footprint",
+    "hot_span",
+    "render_heatmap",
+]

@@ -1,0 +1,51 @@
+"""Counter comparison helpers (Figures 6 and 11)."""
+
+
+def miss_reduction(before, after, miss_field):
+    """Relative miss reduction (positive = improvement)."""
+    b = getattr(before, miss_field)
+    a = getattr(after, miss_field)
+    if b == 0:
+        return 0.0
+    return (b - a) / b
+
+
+#: The metric set of the paper's Figure 6.
+FIGURE6_METRICS = (
+    ("Branch", "branch_misses"),
+    ("D-Cache", "l1d_misses"),
+    ("I-Cache", "l1i_misses"),
+    ("I-TLB", "itlb_misses"),
+    ("D-TLB", "dtlb_misses"),
+    ("LLC", "llc_misses"),
+)
+
+#: The metric set of the paper's Figure 11.
+FIGURE11_METRICS = (
+    ("Instructions", "instructions"),
+    ("Branch-miss", "branch_misses"),
+    ("I-cache-miss", "l1i_misses"),
+    ("LLC-miss", "llc_misses"),
+    ("iTLB-miss", "itlb_misses"),
+    ("CPU time", "cycles"),
+)
+
+
+def counter_reductions(before, after, metrics=FIGURE6_METRICS):
+    """{label: relative reduction} for a metric table."""
+    return {
+        label: miss_reduction(before, after, field)
+        for label, field in metrics
+    }
+
+
+def summarize_counters(counters):
+    """Compact human-readable counter summary."""
+    c = counters
+    return (
+        f"instructions={c.instructions} cycles={c.cycles} "
+        f"ipc={c.instructions / max(1, c.cycles):.3f} "
+        f"taken={c.taken_branches} br-miss={c.branch_misses} "
+        f"l1i-miss={c.l1i_misses} itlb-miss={c.itlb_misses} "
+        f"l1d-miss={c.l1d_misses} llc-miss={c.llc_misses}"
+    )

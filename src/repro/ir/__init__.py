@@ -1,0 +1,33 @@
+"""Compiler intermediate representation.
+
+A non-SSA three-address IR over virtual registers with an explicit CFG.
+Profile data (instrumented PGO or sampled AutoFDO) attaches to IR blocks
+and edges *per function* — context-insensitively — which is precisely
+the accuracy limitation of compiler-level FDO the paper's Figure 2
+describes and BOLT sidesteps by working on the binary.
+"""
+
+from repro.ir.ir import Imm, IRInst, IRBlock, IRFunction, IRModule, CMP_OPS
+from repro.ir.builder import build_module, BuildError
+from repro.ir.passes import optimize_function, optimize_module
+from repro.ir.inline import inline_module, InlinePolicy
+from repro.ir.instrument import instrument_module, counter_key_list
+from repro.ir.layout import layout_blocks
+
+__all__ = [
+    "Imm",
+    "IRInst",
+    "IRBlock",
+    "IRFunction",
+    "IRModule",
+    "CMP_OPS",
+    "build_module",
+    "BuildError",
+    "optimize_function",
+    "optimize_module",
+    "inline_module",
+    "InlinePolicy",
+    "instrument_module",
+    "counter_key_list",
+    "layout_blocks",
+]

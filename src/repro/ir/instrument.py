@@ -1,0 +1,73 @@
+"""Instrumentation-based profiling support (PGO -fprofile-generate analog).
+
+Every basic block gets a ``profcount`` pseudo-instruction which codegen
+lowers to a load/add/store triple on a slot of the ``__profc`` counter
+array — the "significant CPU and memory overheads" of instrumentation
+the paper cites as the reason data centers prefer sampling (section
+2.1) are thus physically present in instrumented builds.
+
+Critical edges are split *deterministically* before numbering, and the
+release build performs the same split before attaching counts, so every
+edge count is derivable from block counts by flow arithmetic.
+"""
+
+from repro.ir.ir import IRInst
+from repro.ir.passes import split_critical_edges
+
+#: Link name of the counter array the instrumented build appends to .data.
+COUNTERS_SYMBOL = "__profc"
+
+
+def instrument_function(func, start_index):
+    """Add profcount instructions; returns list of (link_name, block) keys."""
+    split_critical_edges(func)
+    keys = []
+    for block in func.blocks.values():
+        index = start_index + len(keys)
+        keys.append((func.link_name(), block.name))
+        counter = IRInst("profcount", value=index)
+        # Landing pads must begin with their landingpad instruction.
+        pos = 1 if block.insts and block.insts[0].kind == "landingpad" else 0
+        block.insts.insert(pos, counter)
+    return keys
+
+
+def instrument_module(module, start_index=0):
+    """Instrument all functions; returns the counter key list."""
+    keys = []
+    for func in module.functions.values():
+        keys.extend(instrument_function(func, start_index + len(keys)))
+    return keys
+
+
+def counter_key_list(modules):
+    """The deterministic counter key order for a list of modules
+    (must match what instrument_module produced, in the same order)."""
+    keys = []
+    for module in modules:
+        for func in module.functions.values():
+            for block in func.blocks.values():
+                keys.append((func.link_name(), block.name))
+    return keys
+
+
+def derive_edge_counts(func, block_counts):
+    """Recover exact edge counts from block counts.
+
+    ``block_counts`` maps block name -> count.  Works when critical
+    edges were split (each edge then has a single-pred or single-succ
+    endpoint).
+    """
+    preds = func.predecessors()
+    edges = {}
+    for name, block in func.blocks.items():
+        succs = block.successors()
+        for succ in set(succs):
+            if len(preds[succ]) == 1:
+                edges[(name, succ)] = block_counts.get(succ, 0)
+            elif len(set(succs)) == 1:
+                edges[(name, succ)] = block_counts.get(name, 0)
+            else:
+                # Unsplit critical edge (should not happen): unknown.
+                edges[(name, succ)] = 0
+    return edges

@@ -1,0 +1,75 @@
+"""BX86: a synthetic x86_64-like ISA.
+
+This package defines the instruction set that the whole reproduction is
+built around: a byte-accurate, variable-length encoding with the
+properties BOLT cares about (short 2-byte vs long 6-byte conditional
+branches, ``repz ret``, multi-byte alignment NOPs, indirect calls and
+jumps, PLT-style memory jumps).  See DESIGN.md section 2.
+"""
+
+from repro.isa.registers import (
+    NUM_REGS,
+    RAX,
+    RBP,
+    RBX,
+    RCX,
+    RDI,
+    RDX,
+    RSI,
+    RSP,
+    R8,
+    R9,
+    R10,
+    R11,
+    R12,
+    R13,
+    R14,
+    R15,
+    ARG_REGS,
+    CALLEE_SAVED,
+    CALLER_SAVED,
+    ALLOCATABLE,
+    REG_NAMES,
+    reg_name,
+)
+from repro.isa.opcodes import Op, CondCode, OPERAND_FORMATS, negate_cc
+from repro.isa.instruction import Instruction, SymRef
+from repro.isa.encoding import encode, instruction_size
+from repro.isa.decoding import decode, DecodeError, decode_stream
+
+__all__ = [
+    "NUM_REGS",
+    "RAX",
+    "RCX",
+    "RDX",
+    "RBX",
+    "RSP",
+    "RBP",
+    "RSI",
+    "RDI",
+    "R8",
+    "R9",
+    "R10",
+    "R11",
+    "R12",
+    "R13",
+    "R14",
+    "R15",
+    "ARG_REGS",
+    "CALLEE_SAVED",
+    "CALLER_SAVED",
+    "ALLOCATABLE",
+    "REG_NAMES",
+    "reg_name",
+    "Op",
+    "CondCode",
+    "OPERAND_FORMATS",
+    "negate_cc",
+    "Instruction",
+    "SymRef",
+    "encode",
+    "instruction_size",
+    "decode",
+    "decode_stream",
+    "DecodeError",
+]

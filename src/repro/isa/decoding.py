@@ -1,0 +1,130 @@
+"""Table-driven disassembler for BX86 machine code."""
+
+import struct
+
+from repro.isa.opcodes import Op, CondCode, OPERAND_FORMATS, format_size
+from repro.isa.instruction import Instruction
+
+
+class DecodeError(Exception):
+    """Raised on bytes that do not form a valid BX86 instruction."""
+
+
+_VALID_PRIMARY = {int(op) for op in Op if op not in (Op.JCC_SHORT, Op.JCC_LONG, Op.PREFIX_0F)}
+_NUM_CCS = len(CondCode)
+
+
+def decode(data, offset=0, address=0):
+    """Decode one instruction from ``data`` at ``offset``.
+
+    ``address`` is the virtual address of the instruction; branch targets
+    are resolved to absolute addresses.  Returns the decoded
+    :class:`Instruction` (with ``.address`` and ``.size`` set).
+    Raises :class:`DecodeError` on invalid encodings or truncation.
+    """
+    try:
+        byte = data[offset]
+    except IndexError:
+        raise DecodeError(f"truncated instruction at 0x{address:x}") from None
+
+    cc = None
+    if byte == Op.PREFIX_0F:
+        try:
+            second = data[offset + 1]
+        except IndexError:
+            raise DecodeError(f"truncated 0x0F prefix at 0x{address:x}") from None
+        if not 0x70 <= second < 0x70 + _NUM_CCS:
+            raise DecodeError(f"invalid 0x0F opcode 0x{second:02x} at 0x{address:x}")
+        op = Op.JCC_LONG
+        cc = CondCode(second - 0x70)
+        pos = offset + 2
+    elif 0x60 <= byte < 0x60 + _NUM_CCS:
+        op = Op.JCC_SHORT
+        cc = CondCode(byte - 0x60)
+        pos = offset + 1
+    elif byte in _VALID_PRIMARY:
+        op = Op(byte)
+        pos = offset + 1
+    else:
+        raise DecodeError(f"invalid opcode byte 0x{byte:02x} at 0x{address:x}")
+
+    regs = []
+    imm = None
+    disp = 0
+    addr = None
+    target = None
+    if op == Op.NOPN:
+        if pos >= len(data):
+            raise DecodeError(f"truncated NOPN at 0x{address:x}")
+        imm = data[pos]
+        if imm < 2 or offset + imm > len(data):
+            raise DecodeError(f"bad NOPN length {imm} at 0x{address:x}")
+        insn = Instruction(op, imm=imm, address=address)
+        return insn
+
+    size = format_size(op)
+    if offset + size > len(data):
+        raise DecodeError(f"truncated {op.name} at 0x{address:x}")
+
+    for atom in OPERAND_FORMATS[op]:
+        if atom == "reg":
+            reg = data[pos]
+            if reg > 15:
+                raise DecodeError(f"invalid register {reg} at 0x{address:x}")
+            regs.append(reg)
+            pos += 1
+        elif atom == "imm8":
+            imm = data[pos]
+            pos += 1
+        elif atom == "imm32":
+            imm = struct.unpack_from("<i", data, pos)[0]
+            pos += 4
+        elif atom == "imm64":
+            imm = struct.unpack_from("<q", data, pos)[0]
+            pos += 8
+        elif atom == "disp32":
+            disp = struct.unpack_from("<i", data, pos)[0]
+            pos += 4
+        elif atom == "abs32":
+            addr = struct.unpack_from("<I", data, pos)[0]
+            pos += 4
+        elif atom == "rel8":
+            rel = struct.unpack_from("<b", data, pos)[0]
+            pos += 1
+            target = address + size + rel
+        elif atom == "rel32":
+            rel = struct.unpack_from("<i", data, pos)[0]
+            pos += 4
+            target = address + size + rel
+        elif atom == "pad":
+            pos += 1
+        else:  # pragma: no cover
+            raise DecodeError(f"unknown atom {atom}")
+
+    insn = Instruction(
+        op, regs, imm=imm, disp=disp, addr=addr, cc=cc, target=target, address=address
+    )
+    return insn
+
+
+def decode_stream(data, start=0, end=None, base_address=0):
+    """Decode a byte range into a list of instructions.
+
+    ``base_address`` is the virtual address of ``data[start]``.  Stops at
+    ``end`` (exclusive, defaults to ``len(data)``).  Raises
+    :class:`DecodeError` if any byte range fails to decode or an
+    instruction straddles ``end``.
+    """
+    if end is None:
+        end = len(data)
+    insns = []
+    offset = start
+    while offset < end:
+        insn = decode(data, offset, base_address + (offset - start))
+        if offset + insn.size > end:
+            raise DecodeError(
+                f"instruction at 0x{insn.address:x} straddles region end"
+            )
+        insns.append(insn)
+        offset += insn.size
+    return insns

@@ -1,0 +1,28 @@
+"""BC: the small C-like source language the workloads are written in.
+
+BC exists so that the reproduction has a *real* compilation pipeline to
+retrofit profile data into (paper Figure 1): integer-only, with
+functions (global or ``static``), globals and arrays (mutable or
+``const`` — the latter land in ``.rodata`` and feed
+``simplify-ro-loads``), ``if``/``while``/``switch`` (dense switches
+lower to jump tables), direct/indirect calls and function pointers,
+``out`` for observable output, and a simplified ``try``/``throw``/
+``catch`` that exercises landing pads and CFI updates (paper 3.4).
+"""
+
+from repro.lang.lexer import Lexer, Token, TokenType, LexError
+from repro.lang.parser import parse_module, ParseError
+from repro.lang.sema import check_module, SemaError
+from repro.lang import astnodes as ast
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "LexError",
+    "parse_module",
+    "ParseError",
+    "check_module",
+    "SemaError",
+    "ast",
+]

@@ -1,0 +1,272 @@
+"""AST node definitions for BC.
+
+Every node carries ``(file, line)`` so the compiler can emit line-table
+debug info — the channel through which AutoFDO maps binary samples back
+to source constructs (and loses context sensitivity, paper Figure 2).
+"""
+
+
+class Node:
+    """Base class: source position tracking."""
+
+    __slots__ = ("file", "line")
+
+    def __init__(self, file, line):
+        self.file = file
+        self.line = line
+
+    @property
+    def loc(self):
+        return (self.file, self.line)
+
+
+# -- top level -------------------------------------------------------------
+
+
+class Module(Node):
+    """One compilation unit: globals + functions."""
+
+    __slots__ = ("name", "globals", "functions")
+
+    def __init__(self, name, globals, functions, file="", line=0):
+        super().__init__(file, line)
+        self.name = name
+        self.globals = globals
+        self.functions = functions
+
+
+class GlobalVar(Node):
+    """``var g = init;`` / ``const G = init;`` at module scope."""
+
+    __slots__ = ("name", "init", "const")
+
+    def __init__(self, name, init, const, file, line):
+        super().__init__(file, line)
+        self.name = name
+        self.init = init
+        self.const = const
+
+
+class GlobalArray(Node):
+    """``array a[N] = {..};`` / ``const array a[N] = {..};``"""
+
+    __slots__ = ("name", "size", "init", "const")
+
+    def __init__(self, name, size, init, const, file, line):
+        super().__init__(file, line)
+        self.name = name
+        self.size = size
+        self.init = init or []
+        self.const = const
+
+
+class FuncDecl(Node):
+    """``func f(a, b) { ... }``; ``static`` gives LOCAL linkage."""
+
+    __slots__ = ("name", "params", "body", "static")
+
+    def __init__(self, name, params, body, static, file, line):
+        super().__init__(file, line)
+        self.name = name
+        self.params = params
+        self.body = body
+        self.static = static
+
+
+# -- statements --------------------------------------------------------------
+
+
+class Block(Node):
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts, file, line):
+        super().__init__(file, line)
+        self.stmts = stmts
+
+
+class VarDecl(Node):
+    __slots__ = ("name", "init")
+
+    def __init__(self, name, init, file, line):
+        super().__init__(file, line)
+        self.name = name
+        self.init = init
+
+
+class Assign(Node):
+    """``name = expr;`` or ``name[idx] = expr;`` (target is Name/Index)."""
+
+    __slots__ = ("target", "value")
+
+    def __init__(self, target, value, file, line):
+        super().__init__(file, line)
+        self.target = target
+        self.value = value
+
+
+class If(Node):
+    __slots__ = ("cond", "then", "otherwise")
+
+    def __init__(self, cond, then, otherwise, file, line):
+        super().__init__(file, line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Node):
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond, body, file, line):
+        super().__init__(file, line)
+        self.cond = cond
+        self.body = body
+
+
+class For(Node):
+    """``for (init; cond; step) body`` — kept as a distinct node (not
+    desugared to While) because ``continue`` must branch to ``step``."""
+
+    __slots__ = ("init", "cond", "step", "body")
+
+    def __init__(self, init, cond, step, body, file, line):
+        super().__init__(file, line)
+        self.init = init       # VarDecl/Assign/ExprStmt or None
+        self.cond = cond       # expression or None (infinite)
+        self.step = step       # Assign/ExprStmt or None
+        self.body = body
+
+
+class Switch(Node):
+    """``switch (expr) { case N: block ... default: block }``"""
+
+    __slots__ = ("value", "cases", "default")
+
+    def __init__(self, value, cases, default, file, line):
+        super().__init__(file, line)
+        self.value = value
+        self.cases = cases  # list of (int, Block)
+        self.default = default
+
+
+class Return(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, file, line):
+        super().__init__(file, line)
+        self.value = value
+
+
+class Out(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, file, line):
+        super().__init__(file, line)
+        self.value = value
+
+
+class ExprStmt(Node):
+    __slots__ = ("expr",)
+
+    def __init__(self, expr, file, line):
+        super().__init__(file, line)
+        self.expr = expr
+
+
+class Break(Node):
+    __slots__ = ()
+
+
+class Continue(Node):
+    __slots__ = ()
+
+
+class Try(Node):
+    __slots__ = ("body", "catch_var", "handler")
+
+    def __init__(self, body, catch_var, handler, file, line):
+        super().__init__(file, line)
+        self.body = body
+        self.catch_var = catch_var
+        self.handler = handler
+
+
+class Throw(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, file, line):
+        super().__init__(file, line)
+        self.value = value
+
+
+# -- expressions -------------------------------------------------------------
+
+
+class Num(Node):
+    __slots__ = ("value",)
+
+    def __init__(self, value, file, line):
+        super().__init__(file, line)
+        self.value = value
+
+
+class Name(Node):
+    __slots__ = ("name",)
+
+    def __init__(self, name, file, line):
+        super().__init__(file, line)
+        self.name = name
+
+
+class Index(Node):
+    """``arr[expr]`` — arr must be a global array name."""
+
+    __slots__ = ("name", "index")
+
+    def __init__(self, name, index, file, line):
+        super().__init__(file, line)
+        self.name = name
+        self.index = index
+
+
+class Call(Node):
+    """Direct call (``callee`` is a name string) or indirect (an expr)."""
+
+    __slots__ = ("callee", "args", "indirect")
+
+    def __init__(self, callee, args, indirect, file, line):
+        super().__init__(file, line)
+        self.callee = callee
+        self.args = args
+        self.indirect = indirect
+
+
+class FuncRef(Node):
+    """``&f`` — address of a function."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name, file, line):
+        super().__init__(file, line)
+        self.name = name
+
+
+class Unary(Node):
+    __slots__ = ("op", "operand")
+
+    def __init__(self, op, operand, file, line):
+        super().__init__(file, line)
+        self.op = op
+        self.operand = operand
+
+
+class Binary(Node):
+    """Arithmetic, bitwise, comparison, and short-circuit ``&&``/``||``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op, left, right, file, line):
+        super().__init__(file, line)
+        self.op = op
+        self.left = left
+        self.right = right

@@ -1,0 +1,226 @@
+"""Semantic checks for BC modules.
+
+BC is deliberately C-like in its linkage model: names that do not
+resolve inside the module are assumed to be external and left for the
+linker, and ``static`` functions are invisible outside their module —
+which is what makes some cross-module references invisible to the
+linker, one of the relocation gaps BOLT must recover by disassembling
+(paper section 3.2).
+"""
+
+from repro.lang import astnodes as ast
+
+
+class SemaError(Exception):
+    def __init__(self, message, file, line):
+        super().__init__(f"{file}:{line}: {message}")
+        self.file = file
+        self.line = line
+
+
+class ModuleInfo:
+    """Symbol information produced by :func:`check_module`."""
+
+    def __init__(self):
+        self.global_vars = {}     # name -> GlobalVar
+        self.global_arrays = {}   # name -> GlobalArray
+        self.functions = {}       # name -> FuncDecl
+        self.extern_calls = set()  # names called but not defined here
+        self.extern_refs = set()   # names referenced via &f but not defined here
+
+
+def _error(node, message):
+    raise SemaError(message, node.file, node.line)
+
+
+class _FuncChecker:
+    def __init__(self, info, func):
+        self.info = info
+        self.func = func
+        self.scopes = [set(func.params)]
+        self.loop_depth = 0
+        if len(set(func.params)) != len(func.params):
+            _error(func, f"duplicate parameter in {func.name}")
+
+    def lookup_var(self, name):
+        return any(name in scope for scope in self.scopes)
+
+    def declare(self, node):
+        if node.name in self.scopes[-1]:
+            _error(node, f"redeclaration of {node.name}")
+        self.scopes[-1].add(node.name)
+
+    # -- statements -------------------------------------------------------
+
+    def stmt(self, node):
+        method = getattr(self, "_stmt_" + type(node).__name__, None)
+        if method is None:  # pragma: no cover - parser restricts shapes
+            _error(node, f"unsupported statement {type(node).__name__}")
+        method(node)
+
+    def _stmt_Block(self, node):
+        self.scopes.append(set())
+        for stmt in node.stmts:
+            self.stmt(stmt)
+        self.scopes.pop()
+
+    def _stmt_VarDecl(self, node):
+        if node.init is not None:
+            self.expr(node.init)
+        self.declare(node)
+
+    def _stmt_Assign(self, node):
+        target = node.target
+        if isinstance(target, ast.Name):
+            if not self.lookup_var(target.name):
+                gvar = self.info.global_vars.get(target.name)
+                if gvar is None:
+                    _error(target, f"assignment to undeclared variable {target.name}")
+                if gvar.const:
+                    _error(target, f"assignment to const {target.name}")
+        else:
+            self._check_index(target)
+            arr = self.info.global_arrays.get(target.name)
+            if arr is not None and arr.const:
+                _error(target, f"assignment to const array {target.name}")
+        self.expr(node.value)
+
+    def _stmt_If(self, node):
+        self.expr(node.cond)
+        self.stmt(node.then)
+        if node.otherwise is not None:
+            self.stmt(node.otherwise)
+
+    def _stmt_While(self, node):
+        self.expr(node.cond)
+        self.loop_depth += 1
+        self.stmt(node.body)
+        self.loop_depth -= 1
+
+    def _stmt_For(self, node):
+        # The init's declarations live in their own scope around the loop.
+        self.scopes.append(set())
+        if node.init is not None:
+            self.stmt(node.init)
+        if node.cond is not None:
+            self.expr(node.cond)
+        self.loop_depth += 1
+        self.stmt(node.body)
+        if node.step is not None:
+            self.stmt(node.step)
+        self.loop_depth -= 1
+        self.scopes.pop()
+
+    def _stmt_Switch(self, node):
+        self.expr(node.value)
+        for _, body in node.cases:
+            self.stmt(body)
+        if node.default is not None:
+            self.stmt(node.default)
+
+    def _stmt_Return(self, node):
+        if node.value is not None:
+            self.expr(node.value)
+
+    def _stmt_Out(self, node):
+        self.expr(node.value)
+
+    def _stmt_ExprStmt(self, node):
+        self.expr(node.expr)
+
+    def _stmt_Break(self, node):
+        if self.loop_depth == 0:
+            _error(node, "break outside loop")
+
+    def _stmt_Continue(self, node):
+        if self.loop_depth == 0:
+            _error(node, "continue outside loop")
+
+    def _stmt_Try(self, node):
+        self.stmt(node.body)
+        self.scopes.append({node.catch_var})
+        self.stmt(node.handler)
+        self.scopes.pop()
+
+    def _stmt_Throw(self, node):
+        self.expr(node.value)
+
+    # -- expressions ----------------------------------------------------------
+
+    def expr(self, node):
+        if isinstance(node, ast.Num):
+            return
+        if isinstance(node, ast.Name):
+            if self.lookup_var(node.name):
+                return
+            if node.name in self.info.global_vars:
+                return
+            if node.name in self.info.global_arrays:
+                _error(node, f"array {node.name} used as a value")
+            _error(node, f"use of undeclared variable {node.name}")
+        elif isinstance(node, ast.Index):
+            self._check_index(node)
+        elif isinstance(node, ast.Call):
+            if node.indirect:
+                self.expr(node.callee)
+            else:
+                target = self.info.functions.get(node.callee)
+                if target is not None:
+                    if len(target.params) != len(node.args):
+                        _error(
+                            node,
+                            f"call to {node.callee} with {len(node.args)} args, "
+                            f"expected {len(target.params)}",
+                        )
+                elif self.lookup_var(node.callee) or node.callee in self.info.global_vars:
+                    # Calling through a variable holding a function pointer.
+                    pass
+                else:
+                    self.info.extern_calls.add(node.callee)
+            for arg in node.args:
+                self.expr(arg)
+        elif isinstance(node, ast.FuncRef):
+            if node.name not in self.info.functions:
+                self.info.extern_refs.add(node.name)
+        elif isinstance(node, ast.Unary):
+            self.expr(node.operand)
+        elif isinstance(node, ast.Binary):
+            self.expr(node.left)
+            self.expr(node.right)
+        else:  # pragma: no cover
+            _error(node, f"unsupported expression {type(node).__name__}")
+
+    def _check_index(self, node):
+        if node.name not in self.info.global_arrays:
+            _error(node, f"indexing unknown array {node.name}")
+        self.expr(node.index)
+
+
+def check_module(module):
+    """Validate a module; returns a :class:`ModuleInfo` on success."""
+    info = ModuleInfo()
+    for decl in module.globals:
+        name = decl.name
+        if name in info.global_vars or name in info.global_arrays:
+            _error(decl, f"duplicate global {name}")
+        if isinstance(decl, ast.GlobalVar):
+            info.global_vars[name] = decl
+        else:
+            # BC arrays index modulo their length, so sizes must be
+            # powers of two (indexing compiles to a mask).
+            if decl.size <= 0 or decl.size & (decl.size - 1):
+                _error(decl, f"array {name} size must be a power of two")
+            info.global_arrays[name] = decl
+    for func in module.functions:
+        if func.name in info.functions:
+            _error(func, f"duplicate function {func.name}")
+        if func.name in info.global_vars or func.name in info.global_arrays:
+            _error(func, f"{func.name} defined as both global and function")
+        info.functions[func.name] = func
+    for func in module.functions:
+        checker = _FuncChecker(info, func)
+        checker.stmt(func.body)
+    # Calling a function defined in this module through a variable is
+    # fine; but an extern call that is also an extern ref is still one
+    # symbol — nothing to reconcile here.
+    return info

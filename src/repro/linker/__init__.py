@@ -1,0 +1,5 @@
+"""The static linker."""
+
+from repro.linker.linker import link, LinkError, BUILTINS
+
+__all__ = ["link", "LinkError", "BUILTINS"]

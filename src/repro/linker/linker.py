@@ -1,0 +1,383 @@
+"""Static linker: objects -> executable.
+
+Feature set mirrors what the BOLT paper assumes of BFD/Gold:
+
+* per-function input sections (``-ffunction-sections`` analog) so a
+  profile-guided *function order* can be applied at link time — the
+  HFSort baseline of the paper's Facebook evaluation (section 6.1);
+* ``--emit-relocs``: retain (rebased) relocations in the executable,
+  which is what enables BOLT's relocations mode (section 3.2).  Note
+  that, exactly as the paper describes, some references are *not*
+  represented: intra-function jump-table dispatch and short/near
+  branches have no relocations, so a rewriter must disassemble;
+* linker-level identical code folding (ICF), which BOLT's binary-level
+  ICF complements (section 4);
+* PLT/GOT creation for builtins and for "PIC library" objects, giving
+  BOLT's ``plt`` pass its material.
+"""
+
+from repro.belf import (
+    Binary,
+    LineTable,
+    RelocType,
+    Section,
+    SectionFlag,
+    SectionType,
+    Symbol,
+    SymbolBind,
+    SymbolType,
+    TEXT_BASE,
+    BUILTIN_BASE,
+    PAGE_SIZE,
+)
+from repro.isa import Instruction, Op, encode
+
+#: Simulator-native functions and their fixed addresses.
+BUILTINS = {
+    "__throw": BUILTIN_BASE + 0x0,
+}
+
+
+class LinkError(Exception):
+    pass
+
+
+def _align(value, alignment):
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+class _InputFunc:
+    def __init__(self, obj, symbol, section):
+        self.obj = obj
+        self.symbol = symbol
+        self.section = section
+        self.link_name = symbol.link_name()
+        self.relocs = [r for r in obj.relocations if r.section == section.name]
+        self.address = None
+        self.folded_into = None
+
+    @property
+    def code(self):
+        return bytes(self.section.data)
+
+    def icf_key(self):
+        return (
+            self.code,
+            tuple((r.offset, int(r.type), r.symbol, r.addend) for r in self.relocs),
+        )
+
+
+def link(
+    objects,
+    libs=(),
+    name="a.out",
+    entry="main",
+    emit_relocs=False,
+    function_order=None,
+    icf=False,
+    text_base=TEXT_BASE,
+):
+    """Link relocatable objects into an executable Binary.
+
+    ``libs`` are objects whose exported functions are called through the
+    PLT (PIC-archive analog).  ``function_order`` is an optional list of
+    function link names defining the .text layout (HFSort at link time).
+    """
+    all_objects = list(objects) + list(libs)
+    lib_names = set()
+    for lib in libs:
+        for sym in lib.symbols:
+            if sym.type == SymbolType.FUNC and sym.bind == SymbolBind.GLOBAL:
+                lib_names.add(sym.link_name())
+
+    funcs, data_inputs = _collect_inputs(all_objects)
+    if icf:
+        _fold_identical(funcs)
+
+    order = _layout_order(funcs, function_order)
+
+    out = Binary(kind="exec", name=name)
+    out.emit_relocs = emit_relocs
+
+    text = Section(".text", flags=SectionFlag.ALLOC | SectionFlag.EXEC,
+                   addr=text_base, align=PAGE_SIZE)
+    out.add_section(text)
+    func_addr = {}
+    out_relocs = []
+    for func in order:
+        text.pad_to(16)
+        offset = len(text.data)
+        func.address = text.addr + offset
+        func_addr[func.link_name] = func.address
+        text.data += func.section.data
+        for reloc in func.relocs:
+            out_relocs.append((text, offset + reloc.offset, reloc))
+    for func in funcs.values():
+        if func.folded_into is not None:
+            survivor = func.folded_into
+            while survivor.folded_into is not None:
+                survivor = survivor.folded_into
+            func.address = survivor.address
+            func_addr[func.link_name] = func.address
+
+    # PLT-routed symbols: builtins plus PIC-library exports.
+    plt_targets = {}
+    for link_name in sorted(lib_names):
+        if link_name in funcs and funcs[link_name].address is not None:
+            plt_targets[link_name] = funcs[link_name].address
+    for builtin, address in BUILTINS.items():
+        plt_targets[builtin] = address
+
+    plt, got, plt_stub_addr, got_entry_addr = _build_plt(
+        out, text, plt_targets, emit_relocs=emit_relocs)
+
+    data_base = _place_data_sections(out, data_inputs, got)
+
+    symtab = _build_symbol_table(out, funcs, data_inputs, func_addr)
+
+    resolver = _Resolver(symtab, plt_stub_addr, BUILTINS)
+    _apply_relocations(out, out_relocs, data_inputs, resolver,
+                       keep=emit_relocs)
+
+    _merge_metadata(out, all_objects, funcs, func_addr)
+
+    entry_addr = resolver.resolve(entry)
+    if entry_addr is None:
+        raise LinkError(f"undefined entry symbol {entry!r}")
+    out.entry = entry_addr
+    del out._data_placement
+    return out
+
+
+def _collect_inputs(all_objects):
+    funcs = {}
+    data_inputs = []   # (obj, section)
+    for obj in all_objects:
+        for sym in obj.symbols:
+            if sym.type != SymbolType.FUNC or sym.section is None:
+                continue
+            section = obj.get_section(sym.section)
+            if not section.name.startswith(".text."):
+                raise LinkError(
+                    f"function {sym.name} not in a per-function section")
+            func = _InputFunc(obj, sym, section)
+            if func.link_name in funcs:
+                raise LinkError(f"duplicate definition of {func.link_name}")
+            funcs[func.link_name] = func
+        for section in obj.sections.values():
+            if not section.is_exec:
+                data_inputs.append((obj, section))
+    return funcs, data_inputs
+
+
+def _fold_identical(funcs):
+    """Linker ICF: deduplicate functions with identical bodies+relocs."""
+    by_key = {}
+    changed = True
+    while changed:
+        changed = False
+        by_key.clear()
+        for func in funcs.values():
+            if func.folded_into is not None:
+                continue
+            key = func.icf_key()
+            survivor = by_key.get(key)
+            if survivor is None:
+                by_key[key] = func
+            else:
+                func.folded_into = survivor
+                changed = True
+
+
+def _layout_order(funcs, function_order):
+    live = [f for f in funcs.values() if f.folded_into is None]
+    if not function_order:
+        return live
+    rank = {name: i for i, name in enumerate(function_order)}
+    fallback = len(rank)
+    # Stable sort: functions absent from the order keep their input order.
+    return sorted(live, key=lambda f: rank.get(f.link_name, fallback))
+
+
+def _build_plt(out, text, plt_targets, emit_relocs=False):
+    """Create .plt stubs and .got entries; returns maps by link name."""
+    from repro.belf import Relocation
+
+    plt = Section(".plt", flags=SectionFlag.ALLOC | SectionFlag.EXEC,
+                  addr=_align(text.end, 16), align=16)
+    got = Section(".got", flags=SectionFlag.ALLOC | SectionFlag.WRITE, align=8)
+    plt_stub_addr = {}
+    got_entry_addr = {}
+    # .got is placed immediately after .plt so all addresses are known
+    # in a single pass.
+    got.addr = _align(plt.addr + 6 * len(plt_targets), 8)
+    for i, (link_name, target) in enumerate(sorted(plt_targets.items())):
+        stub_offset = len(plt.data)
+        stub_addr = plt.addr + stub_offset
+        got_addr = got.addr + 8 * i
+        insn = Instruction(Op.JMP_MEM, addr=got_addr)
+        plt.data += encode(insn, stub_addr)
+        got.data += target.to_bytes(8, "little")
+        plt_stub_addr[link_name] = stub_addr
+        got_entry_addr[link_name] = got_addr
+        if emit_relocs:
+            # A post-link rewriter moving this function must be able to
+            # retarget the GOT entry.
+            out.relocations.append(
+                Relocation(".got", 8 * i, RelocType.ABS64, link_name, 0))
+    out.add_section(plt)
+    out.add_section(got)
+    return plt, got, plt_stub_addr, got_entry_addr
+
+
+def _place_data_sections(out, data_inputs, got):
+    """Merge input data sections into .rodata/.data/.bss after .got."""
+    base = _align(got.end, PAGE_SIZE)
+    merged = {}
+    for kind, flags, stype in (
+        (".rodata", SectionFlag.ALLOC, SectionType.PROGBITS),
+        (".data", SectionFlag.ALLOC | SectionFlag.WRITE, SectionType.PROGBITS),
+        (".bss", SectionFlag.ALLOC | SectionFlag.WRITE, SectionType.NOBITS),
+    ):
+        section = Section(kind, type=stype, flags=flags, align=8,
+                          mem_size=0 if stype == SectionType.NOBITS else None)
+        merged[kind] = section
+        out.add_section(section)
+
+    #: (obj id, input section name) -> (output section, offset)
+    placement = {}
+    for obj, section in data_inputs:
+        if section.name == ".bss" or section.type == SectionType.NOBITS:
+            target = merged[".bss"]
+            offset = _align(target.size, section.align)
+            target.size = offset + section.size
+        elif section.name.startswith(".rodata"):
+            target = merged[".rodata"]
+            target.pad_to(section.align)
+            offset = target.append(bytes(section.data))
+        else:
+            target = merged[".data"]
+            target.pad_to(section.align)
+            offset = target.append(bytes(section.data))
+        placement[(id(obj), section.name)] = (target, offset)
+
+    addr = base
+    for kind in (".rodata", ".data", ".bss"):
+        section = merged[kind]
+        section.addr = addr
+        addr = _align(addr + section.size, PAGE_SIZE)
+    out._data_placement = placement
+    return base
+
+
+def _build_symbol_table(out, funcs, data_inputs, func_addr):
+    symtab = {}
+    placement = out._data_placement
+    for func in funcs.values():
+        address = func.address
+        out.add_symbol(Symbol(
+            func.symbol.name, value=address, size=func.symbol.size,
+            type=SymbolType.FUNC, bind=func.symbol.bind,
+            section=".text", module=func.symbol.module))
+        symtab[func.link_name] = address
+    for obj, section in data_inputs:
+        target, base_offset = placement[(id(obj), section.name)]
+        for sym in obj.symbols:
+            if sym.type != SymbolType.OBJECT or sym.section != section.name:
+                continue
+            address = target.addr + base_offset + sym.value
+            out.add_symbol(Symbol(
+                sym.name, value=address, size=sym.size, type=SymbolType.OBJECT,
+                bind=sym.bind, section=target.name, module=sym.module))
+            symtab[sym.link_name()] = address
+    return symtab
+
+
+class _Resolver:
+    def __init__(self, symtab, plt_stub_addr, builtins):
+        self.symtab = symtab
+        self.plt_stub_addr = plt_stub_addr
+        self.builtins = builtins
+
+    def resolve(self, link_name, for_call=False):
+        """Address of a symbol; calls to PLT-routed names get the stub."""
+        if for_call and link_name in self.plt_stub_addr:
+            # Calls to builtins/PIC libraries go through the PLT.
+            return self.plt_stub_addr[link_name]
+        if link_name in self.symtab:
+            return self.symtab[link_name]
+        if link_name in self.builtins:
+            return self.builtins[link_name]
+        if link_name in self.plt_stub_addr:
+            return self.plt_stub_addr[link_name]
+        return None
+
+
+def _apply_relocations(out, text_relocs, data_inputs, resolver, keep):
+    from repro.belf import Relocation
+
+    def apply_one(section, offset, reloc):
+        target = resolver.resolve(
+            reloc.symbol, for_call=(reloc.type == RelocType.PC32))
+        if target is None:
+            raise LinkError(f"undefined symbol {reloc.symbol!r}")
+        value = target + reloc.addend
+        place = section.addr + offset
+        if reloc.type == RelocType.ABS64:
+            section.data[offset:offset + 8] = value.to_bytes(8, "little")
+        elif reloc.type == RelocType.ABS32:
+            if not 0 <= value < 1 << 32:
+                raise LinkError(f"ABS32 overflow for {reloc.symbol}")
+            section.data[offset:offset + 4] = value.to_bytes(4, "little")
+        else:  # PC32
+            rel = value - (place + 4)
+            if not -(1 << 31) <= rel < 1 << 31:
+                raise LinkError(f"PC32 overflow for {reloc.symbol}")
+            section.data[offset:offset + 4] = rel.to_bytes(4, "little", signed=True)
+        if keep:
+            out.relocations.append(
+                Relocation(section.name, offset, reloc.type, reloc.symbol,
+                           reloc.addend))
+
+    for section, offset, reloc in text_relocs:
+        apply_one(section, offset, reloc)
+    placement = out._data_placement
+    for obj, section in data_inputs:
+        if section.type == SectionType.NOBITS:
+            continue
+        target, base_offset = placement[(id(obj), section.name)]
+        for reloc in obj.relocations:
+            if reloc.section != section.name:
+                continue
+            apply_one(target, base_offset + reloc.offset, reloc)
+
+
+def _merge_metadata(out, all_objects, funcs, func_addr):
+    table = LineTable()
+    for obj in all_objects:
+        for link_name, rows in obj.func_line_tables.items():
+            func = funcs.get(link_name)
+            if func is None or func.folded_into is not None:
+                continue
+            base = func.address
+            for offset, file, line in rows:
+                table.add(base + offset, file, line)
+        for link_name, record in obj.frame_records.items():
+            func = funcs.get(link_name)
+            if func is None:
+                continue
+            if func.folded_into is not None:
+                # ICF alias: the symbol covers the survivor's bytes, and
+                # the unwinder may resolve addresses to either name.  The
+                # survivor's record is byte-identical by construction.
+                survivor = func.folded_into
+                while survivor.folded_into is not None:
+                    survivor = survivor.folded_into
+                alias = (survivor.obj.frame_records.get(survivor.link_name)
+                         or record)
+                clone = alias.copy()
+                clone.func = link_name
+                out.frame_records[link_name] = clone
+                continue
+            out.frame_records[link_name] = record.copy()
+    out.line_table = table

@@ -1,0 +1,48 @@
+"""Sample-based profiling (the perf + perf2bolt analog).
+
+Implements the profiling techniques of paper section 5: hardware-style
+sampling with configurable events and PEBS-style skid, LBR capture,
+aggregation of raw samples into a binary-level profile (perf2bolt), the
+``.fdata``-like on-disk format, and — for the non-LBR ablations — edge
+recovery via flow-equation repair and minimum-cost-flow inference.
+"""
+
+from repro.profiling.events import Sampler, SamplingConfig, EVENT_PRESETS
+from repro.profiling.profile import BinaryProfile, write_fdata, parse_fdata
+from repro.profiling.aggregate import (
+    aggregate_samples,
+    profile_binary,
+    AddressMapper,
+)
+from repro.profiling.mcf import min_cost_flow_edges
+from repro.profiling.accuracy import (
+    overlap_accuracy,
+    ir_edge_truth,
+    binary_block_truth,
+    sampled_block_estimate,
+)
+from repro.profiling.yamlprofile import (
+    write_yaml_profile,
+    parse_yaml_profile,
+    YamlProfileError,
+)
+
+__all__ = [
+    "Sampler",
+    "SamplingConfig",
+    "EVENT_PRESETS",
+    "BinaryProfile",
+    "write_fdata",
+    "parse_fdata",
+    "aggregate_samples",
+    "profile_binary",
+    "AddressMapper",
+    "min_cost_flow_edges",
+    "overlap_accuracy",
+    "ir_edge_truth",
+    "binary_block_truth",
+    "sampled_block_estimate",
+    "write_yaml_profile",
+    "parse_yaml_profile",
+    "YamlProfileError",
+]

@@ -1,0 +1,72 @@
+"""Profile accuracy measurement (paper section 2.2).
+
+The paper motivates post-link optimization with Chen et al.'s finding
+that profiles retrofitted into compiler IR are only 84.1-92.9% accurate.
+This module reproduces that measurement methodology: given a ground
+truth weighting and an estimate over the same keys, compute the
+*overlap* metric used in that literature:
+
+    accuracy = sum_k min(truth_norm[k], estimate_norm[k])
+
+where both distributions are normalized to sum to 1.  An estimate that
+matches the truth exactly scores 1.0; one that puts all its weight on
+the wrong keys scores 0.0.
+"""
+
+
+def overlap_accuracy(truth, estimate):
+    """Distribution overlap between two weight dicts (same key space)."""
+    total_truth = sum(max(0, v) for v in truth.values())
+    total_est = sum(max(0, v) for v in estimate.values())
+    if total_truth == 0 or total_est == 0:
+        return 0.0
+    accuracy = 0.0
+    for key, true_weight in truth.items():
+        est_weight = estimate.get(key, 0)
+        accuracy += min(max(0, true_weight) / total_truth,
+                        max(0, est_weight) / total_est)
+    return accuracy
+
+
+def ir_edge_truth(modules):
+    """Ground-truth IR edge weights from attached (instrumented) counts.
+
+    Call after :func:`repro.compiler.fdo.attach_edge_profile` on a fresh
+    IR build: returns {(func link name, src, dst): count}.
+    """
+    truth = {}
+    for module in modules:
+        for func in module.functions.values():
+            link = func.link_name()
+            for (src, dst), count in func.edge_counts.items():
+                truth[(link, src, dst)] = count
+    return truth
+
+
+def binary_block_truth(binary, inputs=None, max_instructions=80_000_000):
+    """Exact per-address execution counts via a fully traced run.
+
+    The instrumented ground truth at the *binary* level: every executed
+    instruction is counted, then folded to (function, offset) keys.
+    Slow (one counter bump per instruction) — use on small workloads.
+    """
+    from repro.profiling.aggregate import AddressMapper
+    from repro.uarch.cpu import run_binary
+
+    cpu = run_binary(binary, inputs=inputs, fetch_heat=True,
+                     max_instructions=max_instructions)
+    mapper = AddressMapper(binary)
+    truth = {}
+    for addr, nbytes in cpu.fetch_heat.items():
+        loc = mapper.map(addr)
+        if loc is not None:
+            # fetch_heat counts bytes; normalize to executions by
+            # leaving the weighting in bytes — overlap accuracy only
+            # cares about relative weight.
+            truth[loc] = truth.get(loc, 0) + nbytes
+    return truth, cpu
+
+
+def sampled_block_estimate(profile):
+    """The sampled view over the same (function, offset) key space."""
+    return dict(profile.ip_samples)

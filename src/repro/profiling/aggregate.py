@@ -1,0 +1,71 @@
+"""perf2bolt analog: raw samples -> symbolized BinaryProfile."""
+
+import bisect
+
+from repro.belf import SymbolType
+from repro.profiling.events import Sampler, SamplingConfig
+from repro.profiling.profile import BinaryProfile
+
+
+class AddressMapper:
+    """Maps virtual addresses to (function link name, offset)."""
+
+    def __init__(self, binary):
+        funcs = sorted(
+            (s for s in binary.symbols
+             if s.type == SymbolType.FUNC and s.size > 0),
+            key=lambda s: s.value,
+        )
+        self.starts = [s.value for s in funcs]
+        self.funcs = funcs
+
+    def map(self, addr):
+        idx = bisect.bisect_right(self.starts, addr) - 1
+        if idx < 0:
+            return None
+        sym = self.funcs[idx]
+        if not sym.contains(addr):
+            return None
+        return (sym.link_name(), addr - sym.value)
+
+
+def aggregate_samples(samples, mapper, event="cycles", lbr=True):
+    """Aggregate (pc, lbr_snapshot) samples into a BinaryProfile.
+
+    Branch records with either endpoint outside known functions (PLT
+    stubs, builtins) are dropped, as perf2bolt does for unmapped
+    addresses.
+    """
+    profile = BinaryProfile(event=event, lbr=lbr)
+    for pc, snapshot in samples:
+        loc = mapper.map(pc)
+        if loc is not None:
+            profile.add_sample(loc)
+        if not lbr or not snapshot:
+            continue
+        for from_pc, to_pc, mispred in snapshot:
+            from_loc = mapper.map(from_pc)
+            to_loc = mapper.map(to_pc)
+            if from_loc is None or to_loc is None:
+                continue
+            profile.add_branch(from_loc, to_loc, mispred=mispred)
+    return profile
+
+
+def profile_binary(binary, inputs=None, config=None, sampling=None,
+                   max_instructions=50_000_000):
+    """Run a binary under the sampler and aggregate the profile.
+
+    Returns (BinaryProfile, cpu) — the cpu gives access to true
+    counters for comparison with the sampled view.
+    """
+    from repro.uarch.cpu import run_binary
+
+    sampling = sampling or SamplingConfig()
+    sampler = Sampler(sampling)
+    cpu = run_binary(binary, inputs=inputs, config=config, sampler=sampler,
+                     max_instructions=max_instructions)
+    mapper = AddressMapper(binary)
+    profile = aggregate_samples(sampler.samples, mapper,
+                                event=sampling.event, lbr=sampling.use_lbr)
+    return profile, cpu

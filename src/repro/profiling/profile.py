@@ -1,0 +1,137 @@
+"""The binary-level profile and its .fdata-like serialization.
+
+Locations are symbolized as (function link name, offset) pairs so the
+profile survives re-linking at different addresses — the same reason
+BOLT's .fdata format is symbolic.
+"""
+
+
+class BinaryProfile:
+    """Aggregated sample profile against one binary.
+
+    Attributes:
+        branches: {(from_loc, to_loc): [count, mispreds]} where a loc is
+            (func_link_name, offset); taken branches only (LBR mode).
+        ip_samples: {loc: count} — plain instruction-pointer samples
+            (the only signal available in non-LBR mode).
+        event: the sampling event the profile came from.
+        lbr: whether branch records are populated.
+    """
+
+    def __init__(self, event="cycles", lbr=True):
+        self.branches = {}
+        self.ip_samples = {}
+        self.event = event
+        self.lbr = lbr
+
+    def add_branch(self, from_loc, to_loc, mispred=False, count=1):
+        entry = self.branches.get((from_loc, to_loc))
+        if entry is None:
+            self.branches[(from_loc, to_loc)] = [count, 1 if mispred else 0]
+        else:
+            entry[0] += count
+            if mispred:
+                entry[1] += 1
+
+    def add_sample(self, loc, count=1):
+        self.ip_samples[loc] = self.ip_samples.get(loc, 0) + count
+
+    # -- queries -----------------------------------------------------------
+
+    def branches_within(self, func):
+        """Branch records fully inside one function."""
+        return {
+            (f[1], t[1]): (count, mispred)
+            for (f, t), (count, mispred) in self.branches.items()
+            if f[0] == func and t[0] == func
+        }
+
+    def calls_between(self):
+        """Weighted inter-function transfers: {(caller, callee): count}.
+
+        Includes calls and returns (the LBR view of the call graph,
+        paper section 5.3).
+        """
+        out = {}
+        for (f, t), (count, _) in self.branches.items():
+            if f[0] != t[0] and t[1] == 0:
+                # A transfer landing at a function's entry: a call edge.
+                key = (f[0], t[0])
+                out[key] = out.get(key, 0) + count
+        return out
+
+    def samples_within(self, func):
+        return {
+            loc[1]: count for loc, count in self.ip_samples.items()
+            if loc[0] == func
+        }
+
+    def functions(self):
+        names = set()
+        for (f, t) in self.branches:
+            names.add(f[0])
+            names.add(t[0])
+        for loc in self.ip_samples:
+            names.add(loc[0])
+        return names
+
+    def total_branch_count(self):
+        return sum(count for count, _ in self.branches.values())
+
+    def __len__(self):
+        return len(self.branches) + len(self.ip_samples)
+
+
+def write_fdata(profile):
+    """Serialize to the .fdata-like text format.
+
+    Branch lines:  ``1 <from_func> <from_off> 1 <to_func> <to_off>
+    <mispreds> <count>``; sample lines: ``S <func> <off> <count>``.
+    Function names are URL-style escaped for embedded spaces.
+    """
+    def esc(name):
+        return name.replace("%", "%25").replace(" ", "%20")
+
+    lines = [f"# event: {profile.event}", f"# lbr: {1 if profile.lbr else 0}"]
+    for (f, t), (count, mispred) in sorted(profile.branches.items()):
+        lines.append(
+            f"1 {esc(f[0])} {f[1]:x} 1 {esc(t[0])} {t[1]:x} {mispred} {count}")
+    for loc, count in sorted(profile.ip_samples.items()):
+        lines.append(f"S {esc(loc[0])} {loc[1]:x} {count}")
+    return "\n".join(lines) + "\n"
+
+
+def parse_fdata(text):
+    """Parse the .fdata-like format back into a BinaryProfile."""
+    def unesc(name):
+        return name.replace("%20", " ").replace("%25", "%")
+
+    profile = BinaryProfile()
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            if line.startswith("# event:"):
+                profile.event = line.split(":", 1)[1].strip()
+            elif line.startswith("# lbr:"):
+                profile.lbr = line.split(":", 1)[1].strip() == "1"
+            continue
+        parts = line.split()
+        if parts[0] == "1":
+            if len(parts) != 8 or parts[3] != "1":
+                raise ValueError(f"malformed fdata branch line: {raw!r}")
+            from_loc = (unesc(parts[1]), int(parts[2], 16))
+            to_loc = (unesc(parts[4]), int(parts[5], 16))
+            mispred, count = int(parts[6]), int(parts[7])
+            entry = profile.branches.setdefault((from_loc, to_loc), [0, 0])
+            entry[0] += count
+            entry[1] += mispred
+        elif parts[0] == "S":
+            if len(parts) != 4:
+                raise ValueError(f"malformed fdata sample line: {raw!r}")
+            profile.add_sample((unesc(parts[1]), int(parts[2], 16)),
+                               int(parts[3]))
+        else:
+            raise ValueError(f"malformed fdata line: {raw!r}")
+    return profile

@@ -1,0 +1,141 @@
+"""YAML profile serialization (the ``perf2bolt -w`` option of paper
+section 6.2.1: "The profile from perf was converted using perf2bolt
+utility into YAML format").
+
+A dependency-free writer/parser for the small YAML subset the profile
+needs: a header mapping plus a list of function entries with nested
+branch lists.  The document round-trips through
+:class:`repro.profiling.profile.BinaryProfile`.
+"""
+
+from repro.profiling.profile import BinaryProfile
+
+
+def _quote(name):
+    if all(c.isalnum() or c in "_.$:" for c in name) and name:
+        return name
+    escaped = name.replace("\\", "\\\\").replace("'", "\\'")
+    return f"'{escaped}'"
+
+
+def _unquote(token):
+    token = token.strip()
+    if token.startswith("'") and token.endswith("'"):
+        return token[1:-1].replace("\\'", "'").replace("\\\\", "\\")
+    return token
+
+
+def write_yaml_profile(profile):
+    """Serialize a BinaryProfile to the YAML-subset document."""
+    lines = ["---",
+             "header:",
+             f"  event: {profile.event}",
+             f"  lbr: {'true' if profile.lbr else 'false'}",
+             "functions:"]
+    functions = sorted(profile.functions())
+    for func in functions:
+        branches = [
+            (f[1], t[0], t[1], count, mispred)
+            for (f, t), (count, mispred) in profile.branches.items()
+            if f[0] == func
+        ]
+        samples = [(off, count) for (name, off), count
+                   in profile.ip_samples.items() if name == func]
+        if not branches and not samples:
+            continue
+        lines.append(f"  - name: {_quote(func)}")
+        if branches:
+            lines.append("    branches:")
+            for from_off, to_func, to_off, count, mispred in sorted(branches):
+                lines.append(
+                    f"      - {{ off: 0x{from_off:x}, "
+                    f"to: {_quote(to_func)}, toff: 0x{to_off:x}, "
+                    f"count: {count}, mispreds: {mispred} }}")
+        if samples:
+            lines.append("    samples:")
+            for off, count in sorted(samples):
+                lines.append(f"      - {{ off: 0x{off:x}, count: {count} }}")
+    lines.append("...")
+    return "\n".join(lines) + "\n"
+
+
+class YamlProfileError(ValueError):
+    pass
+
+
+def _parse_inline_map(text, line_no):
+    text = text.strip()
+    if not (text.startswith("{") and text.endswith("}")):
+        raise YamlProfileError(f"line {line_no}: expected inline mapping")
+    out = {}
+    body = text[1:-1]
+    # Split on commas not inside quotes.
+    parts = []
+    depth = 0
+    current = ""
+    in_quote = False
+    for ch in body:
+        if ch == "'" and not current.endswith("\\"):
+            in_quote = not in_quote
+        if ch == "," and not in_quote:
+            parts.append(current)
+            current = ""
+        else:
+            current += ch
+    if current.strip():
+        parts.append(current)
+    for part in parts:
+        if ":" not in part:
+            raise YamlProfileError(f"line {line_no}: bad entry {part!r}")
+        key, _, value = part.partition(":")
+        out[key.strip()] = _unquote(value)
+    return out
+
+
+def _to_int(token, line_no):
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise YamlProfileError(f"line {line_no}: bad integer {token!r}") from None
+
+
+def parse_yaml_profile(text):
+    """Parse the YAML-subset document back into a BinaryProfile."""
+    profile = BinaryProfile()
+    current_func = None
+    section = None
+    for line_no, raw in enumerate(text.splitlines(), 1):
+        line = raw.rstrip()
+        stripped = line.strip()
+        if stripped in ("---", "...", "", "header:", "functions:"):
+            continue
+        if stripped.startswith("event:"):
+            profile.event = stripped.split(":", 1)[1].strip()
+        elif stripped.startswith("lbr:"):
+            profile.lbr = stripped.split(":", 1)[1].strip() == "true"
+        elif stripped.startswith("- name:"):
+            current_func = _unquote(stripped.split(":", 1)[1])
+            section = None
+        elif stripped == "branches:":
+            section = "branches"
+        elif stripped == "samples:":
+            section = "samples"
+        elif stripped.startswith("- {"):
+            if current_func is None or section is None:
+                raise YamlProfileError(
+                    f"line {line_no}: entry outside a function section")
+            fields = _parse_inline_map(stripped[2:], line_no)
+            if section == "branches":
+                entry = profile.branches.setdefault(
+                    ((current_func, _to_int(fields["off"], line_no)),
+                     (fields["to"], _to_int(fields["toff"], line_no))),
+                    [0, 0])
+                entry[0] += _to_int(fields["count"], line_no)
+                entry[1] += _to_int(fields.get("mispreds", "0"), line_no)
+            else:
+                profile.add_sample(
+                    (current_func, _to_int(fields["off"], line_no)),
+                    _to_int(fields["count"], line_no))
+        else:
+            raise YamlProfileError(f"line {line_no}: unrecognized {raw!r}")
+    return profile

@@ -1,0 +1,34 @@
+"""Trace-driven microarchitecture model.
+
+Executes BELF executables and charges cycles through models of the
+hardware structures the BOLT paper's optimizations target (section 6.1,
+Figure 6): L1 I-/D-caches, a shared LLC, I-/D-TLBs, a conditional
+branch predictor with BTB and return-address stack, and Intel-LBR-style
+last-branch records (section 5).
+
+Cache/TLB sizes are scaled down so simulator-scale binaries exhibit the
+front-end-boundedness of the paper's 100+ MB data-center binaries; see
+DESIGN.md for the fidelity argument.
+"""
+
+from repro.uarch.caches import Cache, TLB
+from repro.uarch.branch_predictor import BranchPredictor
+from repro.uarch.lbr import LBR
+from repro.uarch.counters import Counters
+from repro.uarch.config import UarchConfig
+from repro.uarch.machine import Machine, MachineFault
+from repro.uarch.cpu import CPU, ExecutionLimitExceeded, run_binary
+
+__all__ = [
+    "Cache",
+    "TLB",
+    "BranchPredictor",
+    "LBR",
+    "Counters",
+    "UarchConfig",
+    "Machine",
+    "MachineFault",
+    "CPU",
+    "ExecutionLimitExceeded",
+    "run_binary",
+]

@@ -1,0 +1,103 @@
+"""Set-associative LRU cache and fully-associative LRU TLB models."""
+
+
+class Cache:
+    """A set-associative cache with true-LRU replacement.
+
+    ``access(addr)`` returns True on hit, installing the line on miss.
+    """
+
+    def __init__(self, size, assoc, line_size):
+        if size % (assoc * line_size):
+            raise ValueError("cache size must be a multiple of assoc*line")
+        self.line_bits = line_size.bit_length() - 1
+        if (1 << self.line_bits) != line_size:
+            raise ValueError("line size must be a power of two")
+        self.num_sets = size // (assoc * line_size)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError("number of sets must be a power of two")
+        self.assoc = assoc
+        self.set_mask = self.num_sets - 1
+        self.sets = [[] for _ in range(self.num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, addr):
+        self.accesses += 1
+        line = addr >> self.line_bits
+        ways = self.sets[line & self.set_mask]
+        tag = line >> (self.set_mask.bit_length())
+        if ways and ways[0] == tag:
+            return True  # already most-recently-used
+        try:
+            ways.remove(tag)
+        except ValueError:
+            self.misses += 1
+            if len(ways) >= self.assoc:
+                ways.pop()
+            ways.insert(0, tag)
+            return False
+        ways.insert(0, tag)
+        return True
+
+    def install(self, addr):
+        """Bring a line in without counting an access (prefetch)."""
+        line = addr >> self.line_bits
+        ways = self.sets[line & self.set_mask]
+        tag = line >> (self.set_mask.bit_length())
+        if tag in ways:
+            return
+        if len(ways) >= self.assoc:
+            ways.pop()
+        ways.insert(0, tag)
+
+    def reset_stats(self):
+        self.accesses = 0
+        self.misses = 0
+
+    def flush(self):
+        for ways in self.sets:
+            ways.clear()
+
+
+class TLB:
+    """Fully-associative LRU TLB.
+
+    Implemented over an insertion-ordered dict: the first key is the
+    least recently used entry, re-insertion moves a page to the back.
+    """
+
+    def __init__(self, entries, page_size):
+        self.entries = entries
+        self.page_bits = page_size.bit_length() - 1
+        if (1 << self.page_bits) != page_size:
+            raise ValueError("page size must be a power of two")
+        self.pages = {}
+        self.accesses = 0
+        self.misses = 0
+        self._last = None
+
+    def access(self, addr):
+        self.accesses += 1
+        page = addr >> self.page_bits
+        if page == self._last:
+            return True  # already most-recently-used
+        self._last = page
+        pages = self.pages
+        if page in pages:
+            del pages[page]
+            pages[page] = True
+            return True
+        self.misses += 1
+        if len(pages) >= self.entries:
+            del pages[next(iter(pages))]
+        pages[page] = True
+        return False
+
+    def reset_stats(self):
+        self.accesses = 0
+        self.misses = 0
+
+    def flush(self):
+        self.pages.clear()
+        self._last = None

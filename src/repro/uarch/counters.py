@@ -1,0 +1,56 @@
+"""Hardware performance counters (the ``perf stat`` analog)."""
+
+
+class Counters:
+    """Event counts accumulated during execution."""
+
+    FIELDS = (
+        "instructions",
+        "cycles",
+        "cond_branches",
+        "cond_taken",
+        "uncond_branches",
+        "taken_branches",
+        "branch_misses",
+        "calls",
+        "returns",
+        "indirect_branches",
+        "l1i_accesses",
+        "l1i_misses",
+        "l1d_accesses",
+        "l1d_misses",
+        "l2_accesses",
+        "l2_misses",
+        "llc_accesses",
+        "llc_misses",
+        "itlb_accesses",
+        "itlb_misses",
+        "dtlb_accesses",
+        "dtlb_misses",
+        "mem_reads",
+        "mem_writes",
+    )
+
+    def __init__(self):
+        for field in self.FIELDS:
+            setattr(self, field, 0)
+
+    def as_dict(self):
+        return {field: getattr(self, field) for field in self.FIELDS}
+
+    def miss_rates(self):
+        """Convenience miss-rate summary (None when no accesses)."""
+        def rate(m, a):
+            return (m / a) if a else None
+        return {
+            "branch": rate(self.branch_misses,
+                           self.cond_branches + self.indirect_branches + self.returns),
+            "l1i": rate(self.l1i_misses, self.l1i_accesses),
+            "l1d": rate(self.l1d_misses, self.l1d_accesses),
+            "llc": rate(self.llc_misses, self.llc_accesses),
+            "itlb": rate(self.itlb_misses, self.itlb_accesses),
+            "dtlb": rate(self.dtlb_misses, self.dtlb_accesses),
+        }
+
+    def __repr__(self):
+        return f"<Counters instructions={self.instructions} cycles={self.cycles}>"

@@ -1,0 +1,36 @@
+"""Last Branch Records: a ring of the last N *taken* branches.
+
+Mirrors Intel's LBR facility (paper section 5.1): only taken branches
+(including calls and returns) are recorded, which is why fall-through
+edge counts must be inferred by the profile consumer, and why BOLT
+attributes surplus flow to the not-taken path (section 5.2).
+"""
+
+
+class LBR:
+    """Fixed-depth ring buffer of (from_pc, to_pc) taken-branch pairs."""
+
+    DEPTH = 32
+
+    def __init__(self, depth=DEPTH):
+        self.depth = depth
+        self.buffer = [None] * depth
+        self.pos = 0
+        self.filled = False
+
+    def record(self, from_pc, to_pc, mispred=False):
+        self.buffer[self.pos] = (from_pc, to_pc, mispred)
+        self.pos = (self.pos + 1) % self.depth
+        if self.pos == 0:
+            self.filled = True
+
+    def snapshot(self):
+        """Records oldest-to-newest."""
+        if not self.filled:
+            return [x for x in self.buffer[: self.pos]]
+        return self.buffer[self.pos :] + self.buffer[: self.pos]
+
+    def clear(self):
+        self.buffer = [None] * self.depth
+        self.pos = 0
+        self.filled = False

@@ -1,0 +1,148 @@
+"""Memory, loader and process state."""
+
+from repro.belf import SectionType, STACK_TOP
+
+#: Sentinel return address: when main returns here, the program exits.
+EXIT_MAGIC = 0xE0D0F00D
+
+_PAGE_BITS = 12
+_PAGE_SIZE = 1 << _PAGE_BITS
+_PAGE_MASK = _PAGE_SIZE - 1
+
+
+class MachineFault(Exception):
+    """Hardware-level fault (bad memory access, division by zero,
+    invalid opcode, uncaught exception)."""
+
+
+class Memory:
+    """Sparse paged byte-addressable memory."""
+
+    def __init__(self):
+        self.pages = {}
+
+    def _page(self, page_index):
+        page = self.pages.get(page_index)
+        if page is None:
+            page = bytearray(_PAGE_SIZE)
+            self.pages[page_index] = page
+        return page
+
+    def write_bytes(self, addr, data):
+        offset = addr & _PAGE_MASK
+        page_index = addr >> _PAGE_BITS
+        pos = 0
+        remaining = len(data)
+        while remaining:
+            chunk = min(_PAGE_SIZE - offset, remaining)
+            self._page(page_index)[offset : offset + chunk] = data[pos : pos + chunk]
+            pos += chunk
+            remaining -= chunk
+            offset = 0
+            page_index += 1
+
+    def read_bytes(self, addr, size):
+        offset = addr & _PAGE_MASK
+        page_index = addr >> _PAGE_BITS
+        out = bytearray()
+        remaining = size
+        while remaining:
+            chunk = min(_PAGE_SIZE - offset, remaining)
+            page = self.pages.get(page_index)
+            if page is None:
+                out += b"\x00" * chunk
+            else:
+                out += page[offset : offset + chunk]
+            remaining -= chunk
+            offset = 0
+            page_index += 1
+        return bytes(out)
+
+    def read_word(self, addr):
+        """Signed 64-bit little-endian read."""
+        offset = addr & _PAGE_MASK
+        if offset <= _PAGE_SIZE - 8:
+            page = self.pages.get(addr >> _PAGE_BITS)
+            if page is None:
+                return 0
+            return int.from_bytes(page[offset : offset + 8], "little", signed=True)
+        return int.from_bytes(self.read_bytes(addr, 8), "little", signed=True)
+
+    def write_word(self, addr, value):
+        value &= (1 << 64) - 1
+        offset = addr & _PAGE_MASK
+        if offset <= _PAGE_SIZE - 8:
+            self._page(addr >> _PAGE_BITS)[offset : offset + 8] = value.to_bytes(8, "little")
+        else:
+            self.write_bytes(addr, value.to_bytes(8, "little"))
+
+
+class Machine:
+    """A loaded process: memory image + metadata the CPU needs."""
+
+    def __init__(self, binary):
+        self.binary = binary
+        self.memory = Memory()
+        self.exec_ranges = []        # (start, end) of executable sections
+        self.load(binary)
+        self._func_index = None
+
+    def load(self, binary):
+        if not binary.is_executable:
+            raise MachineFault("cannot load a relocatable object")
+        for section in binary.sections.values():
+            if not section.is_alloc:
+                continue
+            if section.type == SectionType.NOBITS:
+                self.memory.write_bytes(section.addr, b"\x00" * section.size)
+            else:
+                self.memory.write_bytes(section.addr, bytes(section.data))
+            if section.is_exec:
+                self.exec_ranges.append((section.addr, section.addr + section.size))
+        self.entry = binary.entry
+
+    def initial_stack(self):
+        """Set up the stack; returns the initial rsp (EXIT_MAGIC pushed)."""
+        rsp = STACK_TOP - 64
+        self.memory.write_word(rsp, EXIT_MAGIC)
+        return rsp
+
+    def is_executable_address(self, addr):
+        return any(start <= addr < end for start, end in self.exec_ranges)
+
+    # -- symbol helpers (used by the unwinder and profilers) -----------------
+
+    def _build_func_index(self):
+        funcs = sorted(
+            (s for s in self.binary.functions() if s.size > 0),
+            key=lambda s: s.value,
+        )
+        self._func_index = ([s.value for s in funcs], funcs)
+
+    def function_at(self, addr):
+        """FUNC symbol covering ``addr`` (binary search), or None."""
+        import bisect
+
+        if self._func_index is None:
+            self._build_func_index()
+        starts, funcs = self._func_index
+        idx = bisect.bisect_right(starts, addr) - 1
+        if idx < 0:
+            return None
+        sym = funcs[idx]
+        return sym if sym.contains(addr) else None
+
+    def poke_array(self, link_name, values):
+        """Write 64-bit values into a global array (workload inputs)."""
+        sym = self.binary.get_symbol(link_name)
+        if sym is None:
+            raise KeyError(f"no symbol {link_name}")
+        for i, value in enumerate(values):
+            self.memory.write_word(sym.value + 8 * i, value)
+
+    def peek_array(self, link_name, count):
+        """Read 64-bit values from a global array (e.g. PGO counters)."""
+        sym = self.binary.get_symbol(link_name)
+        if sym is None:
+            raise KeyError(f"no symbol {link_name}")
+        return [self.memory.read_word(sym.value + 8 * i) for i in range(count)]

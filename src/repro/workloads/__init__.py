@@ -1,0 +1,36 @@
+"""Synthetic workload generators.
+
+The paper evaluates BOLT on Facebook data-center binaries (HHVM, TAO,
+Proxygen, Multifeed) and on the Clang/GCC compilers.  None of those can
+run on the simulated toolchain, so this package generates BC programs
+whose *structure* matches what makes those binaries interesting for a
+post-link optimizer (DESIGN.md section 2):
+
+* large, front-end-bound text with a skewed hot/cold distribution;
+* callsite-dependent branch biases (the Figure 2 accuracy story);
+* switch-based jump tables, indirect calls through function pointers,
+  indirect *tail* calls (non-simple function material, section 6.4);
+* duplicate functions (ICF), PLT-routed utility calls, exception paths,
+  hand-written-assembly-style functions without frame info;
+* cold error paths inside hot functions (splitting material).
+"""
+
+from repro.workloads.synth import WorkloadSpec, generate_workload, Workload
+from repro.workloads.presets import (
+    PRESETS,
+    FACEBOOK_NAMES,
+    facebook_workloads,
+    compiler_workload,
+    make_workload,
+)
+
+__all__ = [
+    "WorkloadSpec",
+    "Workload",
+    "generate_workload",
+    "PRESETS",
+    "FACEBOOK_NAMES",
+    "facebook_workloads",
+    "compiler_workload",
+    "make_workload",
+]

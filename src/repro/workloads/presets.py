@@ -1,0 +1,91 @@
+"""Named workload presets shaped like the paper's evaluation targets.
+
+Scales are chosen so a measurement run executes a few hundred thousand
+simulated instructions (seconds of wall time) while the text section
+comfortably exceeds the scaled-down L1I/I-TLB reach — the front-end
+boundedness that makes the paper's workloads respond to layout
+optimization (DESIGN.md section 2).
+"""
+
+from repro.workloads.synth import WorkloadSpec, generate_workload
+
+PRESETS = {
+    # The PHP VM: the biggest binary, LTO'd, lots of everything —
+    # including indirect tail calls (the non-simple functions visible in
+    # the paper's Figure 9 heat map) and exception-heavy request paths.
+    "hhvm": WorkloadSpec(
+        "hhvm", seed=11, modules=10, workers_per_module=9,
+        leaves_per_module=5, iterations=260, hot_entries=3,
+        switch_funcs_per_module=1, fptr_funcs_per_module=1,
+        itail_funcs_per_module=1, eh_funcs_per_module=1,
+        dup_leaf_groups=3, asm_module=True, cold_modulus=101,
+        worker_body_scale=1.3,
+    ),
+    # The social-graph cache: smaller, pointer-chasing, moderate fanout.
+    "tao": WorkloadSpec(
+        "tao", seed=23, modules=6, workers_per_module=7,
+        leaves_per_module=4, iterations=300, hot_entries=2,
+        switch_funcs_per_module=1, fptr_funcs_per_module=1,
+        eh_funcs_per_module=1, dup_leaf_groups=1, cold_modulus=89,
+    ),
+    # The load balancer: protocol dispatch (switches) dominates.
+    "proxygen": WorkloadSpec(
+        "proxygen", seed=37, modules=6, workers_per_module=6,
+        leaves_per_module=4, iterations=300, hot_entries=2,
+        switch_funcs_per_module=2, fptr_funcs_per_module=1,
+        eh_funcs_per_module=0, dup_leaf_groups=1, cold_modulus=97,
+        input_kind="bursty",
+    ),
+    # News-feed retrieval/ranking: two differently-shaped services.
+    "multifeed1": WorkloadSpec(
+        "multifeed1", seed=41, modules=5, workers_per_module=8,
+        leaves_per_module=3, iterations=300, hot_entries=2,
+        switch_funcs_per_module=1, fptr_funcs_per_module=0,
+        eh_funcs_per_module=1, cold_modulus=83, worker_body_scale=1.2,
+    ),
+    "multifeed2": WorkloadSpec(
+        "multifeed2", seed=43, modules=5, workers_per_module=6,
+        leaves_per_module=4, iterations=340, hot_entries=3,
+        switch_funcs_per_module=1, fptr_funcs_per_module=1,
+        eh_funcs_per_module=0, cold_modulus=113, input_kind="skewed",
+    ),
+    # The Clang/GCC analog: many small branchy functions, deep call
+    # chains, switch-heavy (a compiler's dispatch-over-AST shape), and
+    # behaviour that shifts with the input mix.
+    "compiler": WorkloadSpec(
+        "compiler", seed=71, modules=12, workers_per_module=10,
+        leaves_per_module=5, iterations=220, hot_entries=4,
+        switch_funcs_per_module=2, fptr_funcs_per_module=1,
+        itail_funcs_per_module=0, eh_funcs_per_module=1,
+        dup_leaf_groups=2, cold_modulus=107, worker_body_scale=0.8,
+        cross_module_fraction=0.5,
+    ),
+    # A small fast variant for tests.
+    "mini": WorkloadSpec(
+        "mini", seed=5, modules=2, workers_per_module=4,
+        leaves_per_module=3, iterations=120, hot_entries=2,
+        switch_funcs_per_module=1, fptr_funcs_per_module=1,
+        eh_funcs_per_module=1, dup_leaf_groups=1, cold_modulus=41,
+    ),
+}
+
+#: The five data-center workloads of the paper's Figure 5 (HHVM is the
+#: one built with LTO, per section 6.1).
+FACEBOOK_NAMES = ("hhvm", "tao", "proxygen", "multifeed1", "multifeed2")
+
+
+def make_workload(name, **overrides):
+    spec = PRESETS[name]
+    if overrides:
+        spec = spec.copy(**overrides)
+    return generate_workload(spec)
+
+
+def facebook_workloads(**overrides):
+    """The Figure 5 set: {name: Workload}."""
+    return {name: make_workload(name, **overrides) for name in FACEBOOK_NAMES}
+
+
+def compiler_workload(**overrides):
+    """The Clang/GCC-analog workload (Figures 7, 8, 10; Table 2)."""
+    return make_workload("compiler", **overrides)

@@ -1,0 +1,469 @@
+"""The deterministic BC program generator."""
+
+import random
+
+
+class WorkloadSpec:
+    """Shape parameters for a generated workload."""
+
+    def __init__(
+        self,
+        name,
+        seed=1,
+        modules=6,
+        workers_per_module=8,
+        leaves_per_module=4,
+        iterations=400,
+        hot_entries=3,
+        cold_modulus=101,
+        switch_funcs_per_module=1,
+        fptr_funcs_per_module=1,
+        itail_funcs_per_module=0,
+        eh_funcs_per_module=0,
+        dup_leaf_groups=0,
+        asm_module=False,
+        input_size=64,
+        input_kind="uniform",
+        use_runtime_lib=True,
+        call_fanout=3,
+        cross_module_fraction=0.35,
+        worker_body_scale=1.0,
+    ):
+        self.name = name
+        self.seed = seed
+        self.modules = modules
+        self.workers_per_module = workers_per_module
+        self.leaves_per_module = leaves_per_module
+        self.iterations = iterations
+        self.hot_entries = hot_entries
+        self.cold_modulus = cold_modulus
+        self.switch_funcs_per_module = switch_funcs_per_module
+        self.fptr_funcs_per_module = fptr_funcs_per_module
+        self.itail_funcs_per_module = itail_funcs_per_module
+        self.eh_funcs_per_module = eh_funcs_per_module
+        self.dup_leaf_groups = dup_leaf_groups
+        self.asm_module = asm_module
+        self.input_size = input_size
+        self.input_kind = input_kind
+        self.use_runtime_lib = use_runtime_lib
+        self.call_fanout = call_fanout
+        self.cross_module_fraction = cross_module_fraction
+        self.worker_body_scale = worker_body_scale
+
+    def copy(self, **overrides):
+        out = WorkloadSpec(self.name)
+        out.__dict__.update(self.__dict__)
+        out.__dict__.update(overrides)
+        return out
+
+
+class Workload:
+    """A generated program ready for the harness.
+
+    Attributes:
+        sources: [(module name, BC text)] — the application.
+        lib_sources: [(name, text)] — PIC-library modules (PLT calls).
+        asm_sources: [(name, text)] — modules to build *without* frame
+            info (hand-written assembly analog).
+        inputs: {array link name: [values]} — training/benchmark input.
+        alt_inputs: {label: input dict} — alternative input mixes.
+        iterations: loop count (for instruction-budget estimation).
+    """
+
+    def __init__(self, spec):
+        self.spec = spec
+        self.sources = []
+        self.lib_sources = []
+        self.asm_sources = []
+        self.inputs = {}
+        self.alt_inputs = {}
+        self.iterations = spec.iterations
+
+
+RUNTIME_LIB = """
+func rt_mix(a, b) {
+  return (a * 31 + b) ^ (a >> 3);
+}
+func rt_clamp(x, lo, hi) {
+  if (x < lo) { return lo; }
+  if (x > hi) { return hi; }
+  return x;
+}
+func rt_abs(x) {
+  if (x < 0) { return 0 - x; }
+  return x;
+}
+"""
+
+
+def _const_list(rng, n, lo=1, hi=97):
+    return ", ".join(str(rng.randrange(lo, hi)) for _ in range(n))
+
+
+class _ModulePlan:
+    def __init__(self, index):
+        self.index = index
+        self.leaves = []        # local leaf names
+        self.workers = []       # local worker names
+        self.dispatchers = []
+        self.fptr_calls = []
+        self.itails = []
+        self.eh_funcs = []
+        self.init_funcs = []
+
+
+def generate_workload(spec):
+    """Generate the full program for a spec (deterministic in the seed)."""
+    rng = random.Random(spec.seed)
+    workload = Workload(spec)
+
+    plans = [_ModulePlan(i) for i in range(spec.modules)]
+    for plan in plans:
+        for k in range(spec.leaves_per_module):
+            plan.leaves.append(f"leaf_{plan.index}_{k}")
+        for k in range(spec.workers_per_module):
+            plan.workers.append(f"work_{plan.index}_{k}")
+        for k in range(spec.switch_funcs_per_module):
+            plan.dispatchers.append(f"dispatch_{plan.index}_{k}")
+        for k in range(spec.fptr_funcs_per_module):
+            plan.fptr_calls.append(f"via_ptr_{plan.index}_{k}")
+        for k in range(spec.itail_funcs_per_module):
+            plan.itails.append(f"itail_{plan.index}_{k}")
+        for k in range(spec.eh_funcs_per_module):
+            plan.eh_funcs.append(f"guarded_{plan.index}_{k}")
+
+    # Duplicate-leaf groups: the same body emitted under different names
+    # in different modules (ICF material — the linker cannot fold them
+    # because each module's .rodata/constants give distinct sections in
+    # real toolchains; ours CAN, so BOLT's advantage here is jump-table
+    # functions, also generated below).
+    dup_bodies = [
+        _leaf_body(rng) for _ in range(spec.dup_leaf_groups)
+    ]
+
+    for plan in plans:
+        text = _generate_module(spec, rng, plan, plans, dup_bodies)
+        workload.sources.append((f"m{plan.index}", text))
+
+    workload.sources.append(("mainmod", _generate_main(spec, rng, plans)))
+
+    if spec.use_runtime_lib:
+        workload.lib_sources.append(("rtlib", RUNTIME_LIB))
+
+    if spec.asm_module:
+        workload.asm_sources.append(("asmmod", _generate_asm_module(rng)))
+
+    workload.inputs = {"mainmod::input": _make_input(spec, rng, spec.input_kind)}
+    for kind in ("uniform", "skewed", "bursty"):
+        if kind != spec.input_kind:
+            workload.alt_inputs[kind] = {
+                "mainmod::input": _make_input(spec, rng, kind)}
+    return workload
+
+
+def _make_input(spec, rng, kind):
+    n = spec.input_size
+    if kind == "uniform":
+        return [rng.randrange(0, 1 << 16) for _ in range(n)]
+    if kind == "skewed":
+        # 90% small values: exercises the low switch arms / taken paths.
+        return [rng.randrange(0, 8) if rng.random() < 0.9
+                else rng.randrange(0, 1 << 16) for _ in range(n)]
+    if kind == "bursty":
+        out = []
+        while len(out) < n:
+            value = rng.randrange(0, 1 << 16)
+            out.extend([value] * min(rng.randrange(1, 9), n - len(out)))
+        return out
+    raise ValueError(f"unknown input kind {kind!r}")
+
+
+def _leaf_body(rng):
+    c1 = rng.randrange(3, 61)
+    c2 = rng.randrange(3, 61)
+    c3 = rng.randrange(1, 7)
+    return (f"  return (a * {c1} + b * {c2}) >> {c3};")
+
+
+def _generate_module(spec, rng, plan, plans, dup_bodies):
+    mi = plan.index
+    lines = []
+    lines.append(f"const array lut{mi}[16] = {{{_const_list(rng, 16)}}};")
+    # Scalar read-only constants: the compiler keeps them in .rodata and
+    # loads them at use sites (simplify-ro-loads material, Table 1 #6).
+    lines.append(f"const SCALE{mi} = {rng.randrange(3, 97)};")
+    lines.append(f"const BIAS{mi} = {rng.randrange(1, 50)};")
+    lines.append(f"array state{mi}[32];")
+    lines.append(f"var handler{mi} = 0;")
+    lines.append(f"var flag{mi} = {rng.randrange(0, 2)};")
+    lines.append("")
+
+    # Leaves: small frameless functions; some share duplicated bodies.
+    for k, name in enumerate(plan.leaves):
+        if dup_bodies and k < len(dup_bodies) and mi % 2 == 0:
+            body = dup_bodies[k % len(dup_bodies)]
+        else:
+            body = _leaf_body(rng)
+        lines.append(f"func {name}(a, b) {{\n{body}\n}}")
+        lines.append("")
+
+    # The Figure 2 helper: branch direction depends on the argument.
+    lines.append(
+        f"func biased_{mi}(x, t) {{\n"
+        f"  if (x > t) {{\n    return x - t + lut{mi}[x % 16];\n  }}\n"
+        f"  return t - x + lut{mi}[t % 16];\n}}")
+    lines.append("")
+
+    # Switch dispatchers (dense -> jump tables).
+    for name in plan.dispatchers:
+        arms = []
+        for case in range(8):
+            leaf = plan.leaves[case % len(plan.leaves)]
+            c = rng.randrange(1, 50)
+            arms.append(
+                f"    case {case}: {{ r = {leaf}(x, {c}); }}")
+        arms_text = "\n".join(arms)
+        lines.append(
+            f"func {name}(x) {{\n  var r = 0;\n"
+            f"  switch (x % 8) {{\n{arms_text}\n"
+            f"    default: {{ r = x; }}\n  }}\n  return r;\n}}")
+        lines.append("")
+
+    # Indirect calls through a function-pointer global (ICP material;
+    # the +1 keeps the call out of tail position so the function stays
+    # simple and framed).
+    for name in plan.fptr_calls:
+        lines.append(
+            f"func {name}(x) {{\n  var f = handler{mi};\n"
+            f"  return f(x, {rng.randrange(1, 30)}) + 1;\n}}")
+        lines.append("")
+
+    # Indirect tail calls (become jmp *reg => non-simple functions).
+    for name in plan.itails:
+        lines.append(
+            f"func {name}(x) {{\n  var f = handler{mi};\n"
+            f"  return f(x, {rng.randrange(1, 30)});\n}}")
+        lines.append("")
+
+    # Exception material: hot guarded calls over rarely-throwing callees.
+    for k, name in enumerate(plan.eh_funcs):
+        modulus = rng.choice((241, 383, 499))
+        lines.append(
+            f"static func checked_{mi}_{k}(x) {{\n"
+            f"  if (x % {modulus} == {modulus - 1}) {{\n"
+            f"    throw x + {k};\n  }}\n  return x + {k + 1};\n}}")
+        lines.append(
+            f"func {name}(x) {{\n  var r = 0;\n"
+            f"  try {{\n    r = checked_{mi}_{k}(x);\n"
+            f"  }} catch (e) {{\n    r = e % 17;\n  }}\n  return r;\n}}")
+        lines.append("")
+
+    # Conditional-tail-call gates (SCTC material, Table 1 #14): a
+    # frameless dispatcher whose taken path is a bare `jmp tick_N`.
+    # Padding arithmetic keeps it above the compile-time inlining
+    # threshold so it survives into the binary.
+    tick_pad = "\n".join(
+        f"  v = (v * {rng.randrange(3, 30)}) ^ (v >> {rng.randrange(1, 4)});"
+        for _ in range(6))
+    lines.append(
+        f"func tick_{mi}() {{\n"
+        f"  var v = flag{mi} + {rng.randrange(5, 60)};\n{tick_pad}\n"
+        f"  return v;\n}}")
+    pad_ops = "\n".join(
+        f"  t = (t ^ {rng.randrange(3, 40)}) + (t >> {rng.randrange(1, 4)});"
+        for _ in range(4))
+    lines.append(
+        f"func gate_{mi}(x) {{\n"
+        f"  var t = x * {rng.randrange(3, 20)};\n{pad_ops}\n"
+        f"  if (flag{mi} > t) {{\n    return tick_{mi}();\n  }}\n"
+        f"  return {rng.randrange(2, 30)};\n}}")
+    lines.append("")
+
+    # Module init + handler rotation: the function pointer is mildly
+    # polymorphic (dominant target ~7/8 of the time), so indirect-call
+    # sites occasionally retrain the BTB — the profile shows a dominant
+    # target and ICP's guarded direct call genuinely pays off.
+    hot_leaf = plan.leaves[0]
+    alt_leaf = plan.leaves[min(1, len(plan.leaves) - 1)]
+    lines.append(
+        f"func init_{mi}() {{\n  handler{mi} = &{hot_leaf};\n  return 0;\n}}")
+    lines.append(
+        f"func rotate_{mi}(sel) {{\n"
+        f"  if (sel % 8 == 7) {{\n    handler{mi} = &{alt_leaf};\n"
+        f"  }} else {{\n    handler{mi} = &{hot_leaf};\n  }}\n"
+        f"  return 0;\n}}")
+    plan.init_funcs.append(f"init_{mi}")
+    lines.append("")
+
+    # Workers: the bulk of the code.  Acyclic call structure: worker
+    # (m, k) only calls workers with a strictly higher (m, k) rank.
+    total_modules = len(plans)
+    for k, name in enumerate(plan.workers):
+        lines.append(_generate_worker(spec, rng, plan, plans, k, name,
+                                      total_modules))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _worker_rank(mi, k, workers_per_module):
+    return mi * workers_per_module + k
+
+
+def _generate_worker(spec, rng, plan, plans, k, name, total_modules):
+    mi = plan.index
+    my_rank = _worker_rank(mi, k, spec.workers_per_module)
+    body = []
+    body.append(f"  var acc = a + lut{mi}[b % 16] + SCALE{mi};")
+    body.append(f"  var t = state{mi}[(a + b) % 32] + BIAS{mi};")
+
+    # Straight-line compute, scaled by worker_body_scale.
+    n_stmts = max(1, int(rng.randrange(2, 5) * spec.worker_body_scale))
+    for _ in range(n_stmts):
+        c = rng.randrange(2, 40)
+        op = rng.choice(("+", "^", "-"))
+        shift = rng.randrange(1, 5)
+        body.append(f"  acc = (acc {op} (t * {c})) + (acc >> {shift});")
+
+    # Calls: leaves, helpers, and higher-rank workers.
+    callees = []
+    for _ in range(spec.call_fanout):
+        roll = rng.random()
+        if roll < 0.45:
+            callees.append((rng.choice(plan.leaves), "leaf"))
+        elif roll < 0.45 + spec.cross_module_fraction:
+            target_plan = plans[rng.randrange(total_modules)]
+            higher = [
+                (w, i) for i, w in enumerate(target_plan.workers)
+                if _worker_rank(target_plan.index, i,
+                                spec.workers_per_module) > my_rank
+            ]
+            if higher:
+                callees.append((rng.choice(higher)[0], "worker"))
+            else:
+                callees.append((rng.choice(target_plan.leaves), "leaf"))
+        else:
+            higher = [
+                (w, i) for i, w in enumerate(plan.workers)
+                if _worker_rank(mi, i, spec.workers_per_module) > my_rank
+            ]
+            if higher:
+                callees.append((rng.choice(higher)[0], "worker"))
+            else:
+                callees.append((rng.choice(plan.leaves), "leaf"))
+    for callee, kind in callees:
+        if kind == "leaf":
+            body.append(f"  acc = acc + {callee}(acc, t);")
+        else:
+            body.append(f"  acc = acc + {callee}(acc % 251, b);")
+
+    # The biased helper, called with a constant threshold on the hot
+    # side (Figure 2: the callsite determines the branch direction).
+    abs_expr = "rt_abs(acc)" if spec.use_runtime_lib else "(acc % 1000 + 1000)"
+    side = rng.random() < 0.5
+    if side:
+        body.append(f"  acc = acc + biased_{mi}({abs_expr} + 100, 50);")
+    else:
+        body.append(f"  acc = acc + biased_{mi}({abs_expr} % 40, 90);")
+
+    # A dispatcher or fptr call occasionally.
+    if plan.dispatchers and rng.random() < 0.5:
+        body.append(f"  acc = acc + {rng.choice(plan.dispatchers)}(acc);")
+    if plan.fptr_calls and rng.random() < 0.35:
+        body.append(f"  acc = acc + {rng.choice(plan.fptr_calls)}(b % 100);")
+    if plan.eh_funcs and rng.random() < 0.4:
+        body.append(f"  acc = acc + {rng.choice(plan.eh_funcs)}({abs_expr});")
+    if plan.itails and rng.random() < 0.3:
+        body.append(f"  acc = acc + {rng.choice(plan.itails)}(b % 64);")
+    if rng.random() < 0.4:
+        # Cross-module call to a conditional-tail-call gate.
+        other = plans[rng.randrange(len(plans))]
+        body.append(f"  acc = acc + gate_{other.index}(acc % 100);")
+
+    # Cold error path: rarely executed, sizeable code (split material).
+    cold = [f"  if ((a + b) % {spec.cold_modulus} == {spec.cold_modulus - 1}) {{"]
+    if spec.use_runtime_lib:
+        cold.append(f"    var e = rt_mix(acc, {rng.randrange(1, 999)});")
+    else:
+        cold.append(f"    var e = acc * 31 + {rng.randrange(1, 999)};")
+    for _ in range(max(2, int(4 * spec.worker_body_scale))):
+        c = rng.randrange(3, 77)
+        cold.append(f"    e = (e * {c}) ^ (e >> 2);")
+        cold.append(f"    e = e + {rng.choice(plan.leaves)}(e, {c});")
+    cold.append(f"    state{mi}[e % 32] = e;")
+    cold.append("    acc = acc + e % 13;")
+    cold.append("  }")
+    body.extend(cold)
+
+    body.append(f"  state{mi}[(acc + b) % 32] = acc % 65536;")
+    body.append("  return acc;")
+    return f"func {name}(a, b) {{\n" + "\n".join(body) + "\n}"
+
+
+def _generate_asm_module(rng):
+    """Leaf-only module built without frame info (assembly analog)."""
+    lines = []
+    for k in range(3):
+        c = rng.randrange(3, 31)
+        lines.append(
+            f"func asm_leaf_{k}(a, b) {{\n"
+            f"  return (a << 2) + b * {c} + {k};\n}}")
+    return "\n\n".join(lines)
+
+
+def _generate_main(spec, rng, plans):
+    entries = []
+    # Hot entries: the first worker(s) of the first modules.
+    for i in range(spec.hot_entries):
+        plan = plans[i % len(plans)]
+        entries.append(plan.workers[i % max(1, min(2, len(plan.workers)))])
+    cold_entries = []
+    for plan in plans:
+        if len(plan.workers) >= 3:
+            cold_entries.append(plan.workers[2])
+    inits = "\n".join(f"  init_{p.index}();" for p in plans)
+
+    hot_calls = "\n".join(
+        f"    total = total + {entry}(v % 1021, i);"
+        for entry in entries)
+    rotates = "\n".join(
+        f"      rotate_{p.index}(i / 4);"
+        for p in plans if spec.fptr_funcs_per_module or spec.itail_funcs_per_module)
+    rotate_block = ""
+    if rotates:
+        rotate_block = f"    if (i % 4 == 3) {{\n{rotates}\n    }}"
+    cold_calls = "\n".join(
+        f"      total = total + {entry}(v % 509, i + {j});"
+        for j, entry in enumerate(cold_entries))
+    asm_call = ""
+    if spec.asm_module:
+        asm_call = "    total = total + asm_leaf_0(v % 97, i % 13);"
+    dispatch_call = ""
+    if spec.switch_funcs_per_module > 0:
+        dispatch_call = (
+            "    if (i % 37 == 0) {\n"
+            "      total = total + dispatch_0_0(v);\n"
+            "    }")
+
+    return f"""
+array input[{spec.input_size}];
+
+func main() {{
+{inits}
+  var i = 0;
+  var total = 0;
+  while (i < {spec.iterations}) {{
+    var v = input[i % {spec.input_size}];
+{hot_calls}
+{asm_call}
+{dispatch_call}
+{rotate_block}
+    if (i % {spec.cold_modulus} == {spec.cold_modulus - 1}) {{
+{cold_calls}
+    }}
+    total = total & 0xFFFFFFFF;
+    i = i + 1;
+  }}
+  out total;
+  return 0;
+}}
+"""

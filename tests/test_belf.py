@@ -1,0 +1,213 @@
+"""Tests for the BELF container and its byte serialization."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.belf import (
+    Binary,
+    Section,
+    Symbol,
+    Relocation,
+    FrameRecord,
+    CallSiteRecord,
+    LineTable,
+    SectionType,
+    SectionFlag,
+    SymbolType,
+    SymbolBind,
+    RelocType,
+    write_binary,
+    read_binary,
+    BelfFormatError,
+)
+
+
+def make_sample_binary():
+    binary = Binary(kind="exec", name="sample")
+    text = Section(".text", flags=SectionFlag.ALLOC | SectionFlag.EXEC,
+                   addr=0x10000, data=b"\x01\x02\x03\x04", align=16)
+    binary.add_section(text)
+    data = Section(".data", flags=SectionFlag.ALLOC | SectionFlag.WRITE,
+                   addr=0x20000, data=b"\x00" * 16)
+    binary.add_section(data)
+    bss = Section(".bss", type=SectionType.NOBITS,
+                  flags=SectionFlag.ALLOC | SectionFlag.WRITE,
+                  addr=0x30000, mem_size=64)
+    binary.add_section(bss)
+    binary.add_symbol(Symbol("main", value=0x10000, size=2, type=SymbolType.FUNC,
+                             bind=SymbolBind.GLOBAL, section=".text"))
+    binary.add_symbol(Symbol("helper", value=0x10002, size=2, type=SymbolType.FUNC,
+                             bind=SymbolBind.LOCAL, section=".text", module="m1"))
+    binary.add_symbol(Symbol("gvar", value=0x20000, size=8, type=SymbolType.OBJECT,
+                             section=".data"))
+    binary.relocations.append(
+        Relocation(".text", 0x2, RelocType.PC32, "helper", addend=-4))
+    binary.frame_records["main"] = FrameRecord(
+        "main", frame_size=32, saved_regs=[(3, 8)],
+        callsites=[CallSiteRecord(0, 4, 2, action=1)])
+    table = LineTable()
+    table.add(0x10000, "a.bc", 10)
+    table.add(0x10002, "b.bc", 20)
+    binary.line_table = table
+    binary.entry = 0x10000
+    binary.emit_relocs = True
+    return binary
+
+
+def test_section_basics():
+    s = Section(".text", flags=SectionFlag.ALLOC | SectionFlag.EXEC, addr=0x1000,
+                data=b"abcd")
+    assert s.size == 4
+    assert s.end == 0x1004
+    assert s.is_exec and s.is_alloc and not s.is_writable
+    assert s.contains(0x1003) and not s.contains(0x1004)
+    off = s.append(b"xy")
+    assert off == 4 and s.size == 6
+    s.pad_to(8)
+    assert s.size == 8
+
+
+def test_nobits_section_size():
+    s = Section(".bss", type=SectionType.NOBITS, mem_size=128)
+    assert s.size == 128
+    s.size = 256
+    assert s.size == 256
+    p = Section(".data", data=b"ab")
+    with pytest.raises(ValueError):
+        p.size = 10
+
+
+def test_symbol_link_names():
+    g = Symbol("foo", bind=SymbolBind.GLOBAL)
+    l = Symbol("foo", bind=SymbolBind.LOCAL, module="m1")
+    l2 = Symbol("foo", bind=SymbolBind.LOCAL, module="m2")
+    assert g.link_name() == "foo"
+    assert l.link_name() == "m1::foo"
+    assert l.link_name() != l2.link_name()
+
+
+def test_binary_lookup():
+    binary = make_sample_binary()
+    assert binary.get_symbol("main").value == 0x10000
+    assert binary.get_symbol("m1::helper").size == 2
+    assert binary.get_symbol("nonexistent") is None
+    assert binary.section_at(0x10001).name == ".text"
+    assert binary.section_at(0x999) is None
+    assert binary.function_at(0x10003).name == "helper"
+    assert binary.function_at(0x20000) is None
+    assert len(binary.functions()) == 2
+    assert binary.text_size() == 4
+
+
+def test_duplicate_section_rejected():
+    binary = Binary()
+    binary.add_section(Section(".text"))
+    with pytest.raises(ValueError):
+        binary.add_section(Section(".text"))
+
+
+def test_read_word():
+    binary = make_sample_binary()
+    section = binary.get_section(".data")
+    section.data[0:8] = (0xDEADBEEF).to_bytes(8, "little")
+    assert binary.read_word(0x20000) == 0xDEADBEEF
+    with pytest.raises(KeyError):
+        binary.read_word(0x99999999)
+
+
+def test_serialize_roundtrip():
+    binary = make_sample_binary()
+    blob = write_binary(binary)
+    loaded = read_binary(blob)
+    assert loaded.kind == "exec"
+    assert loaded.name == "sample"
+    assert loaded.entry == 0x10000
+    assert loaded.emit_relocs
+    assert list(loaded.sections) == [".text", ".data", ".bss"]
+    assert bytes(loaded.get_section(".text").data) == b"\x01\x02\x03\x04"
+    assert loaded.get_section(".bss").size == 64
+    assert loaded.get_section(".bss").type == SectionType.NOBITS
+    assert len(loaded.symbols) == 3
+    helper = loaded.get_symbol("m1::helper")
+    assert helper.module == "m1" and helper.bind == SymbolBind.LOCAL
+    assert loaded.relocations == [
+        Relocation(".text", 0x2, RelocType.PC32, "helper", addend=-4)]
+    record = loaded.frame_records["main"]
+    assert record.frame_size == 32
+    assert record.saved_regs == [(3, 8)]
+    assert record.callsites[0].landing_pad == 2
+    assert loaded.line_table.lookup(0x10001) == ("a.bc", 10)
+    assert loaded.line_table.lookup(0x10005) == ("b.bc", 20)
+
+
+def test_serialize_object_without_linetable():
+    binary = Binary(kind="object", name="obj")
+    binary.add_section(Section(".text", data=b"\x04"))
+    loaded = read_binary(write_binary(binary))
+    assert loaded.kind == "object"
+    assert loaded.line_table is None
+    assert loaded.entry is None
+
+
+def test_read_bad_magic():
+    with pytest.raises(BelfFormatError):
+        read_binary(b"NOPE" + b"\x00" * 32)
+
+
+def test_read_truncated():
+    blob = write_binary(make_sample_binary())
+    with pytest.raises(BelfFormatError):
+        read_binary(blob[: len(blob) // 2])
+
+
+def test_frame_record_landing_pad_lookup():
+    record = FrameRecord("f", callsites=[CallSiteRecord(10, 20, 100),
+                                         CallSiteRecord(30, 40, 200)])
+    assert record.landing_pad_for(15) == 100
+    assert record.landing_pad_for(30) == 200
+    assert record.landing_pad_for(25) is None
+    assert record.has_landing_pads
+    copy = record.copy()
+    copy.callsites[0].landing_pad = 999
+    assert record.callsites[0].landing_pad == 100
+
+
+def test_line_table_rebase():
+    table = LineTable()
+    table.add(100, "f.bc", 1)
+    table.add(200, "f.bc", 2)
+    moved = table.rebase(lambda a: a + 1000 if a == 100 else None)
+    assert moved.lookup(1100) == ("f.bc", 1)
+    assert len(moved) == 1
+
+
+def test_line_table_empty_lookup():
+    assert LineTable().lookup(5) is None
+    table = LineTable()
+    table.add(100, "f", 1)
+    assert table.lookup(50) is None
+
+
+@given(
+    sections=st.lists(
+        st.tuples(st.sampled_from([".text", ".data", ".rodata", ".bss2"]),
+                  st.binary(max_size=64)),
+        max_size=4,
+        unique_by=lambda t: t[0],
+    ),
+    nsyms=st.integers(min_value=0, max_value=5),
+)
+def test_prop_serialize_roundtrip(sections, nsyms):
+    binary = Binary(kind="object", name="prop")
+    for name, data in sections:
+        binary.add_section(Section(name, data=data))
+    for i in range(nsyms):
+        binary.add_symbol(Symbol(f"sym{i}", value=i * 7, size=i,
+                                 type=SymbolType.FUNC if i % 2 else SymbolType.OBJECT))
+    loaded = read_binary(write_binary(binary))
+    assert list(loaded.sections) == [name for name, _ in sections]
+    for name, data in sections:
+        assert bytes(loaded.get_section(name).data) == data
+    assert len(loaded.symbols) == nsyms
+    for before, after in zip(binary.symbols, loaded.symbols):
+        assert before.name == after.name and before.value == after.value

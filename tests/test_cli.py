@@ -1,0 +1,117 @@
+"""CLI smoke tests (build/run/profile/bolt/stat/dump on real files)."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+SRC = """
+func helper(x) {
+  if (x % 3 == 0) { return x * 2; }
+  return x + 1;
+}
+func main() {
+  var i = 0;
+  var acc = 0;
+  while (i < 100) { acc = acc + helper(i); i = i + 1; }
+  out acc;
+  return 0;
+}
+"""
+
+
+@pytest.fixture()
+def workdir(tmp_path):
+    (tmp_path / "app.bc").write_text(SRC)
+    return tmp_path
+
+
+def test_cli_full_pipeline(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.belf"
+    fdata = workdir / "app.fdata"
+    bolted = workdir / "app.bolt.belf"
+
+    assert main(["build", str(app), "-o", str(exe)]) == 0
+    assert exe.exists()
+
+    assert main(["run", str(exe)]) == 0
+    out = capsys.readouterr().out
+    baseline_output = [l for l in out.splitlines() if l.strip().isdigit()]
+
+    assert main(["profile", str(exe), "-o", str(fdata),
+                 "--period", "51"]) == 0
+    assert "branch records" in capsys.readouterr().out
+    assert fdata.read_text().startswith("# event:")
+
+    assert main(["bolt", str(exe), "-p", str(fdata), "-o", str(bolted),
+                 "--dyno-stats"]) == 0
+    bolt_out = capsys.readouterr().out
+    assert "dyno-stats" in bolt_out
+
+    assert main(["run", str(bolted)]) == 0
+    out = capsys.readouterr().out
+    assert [l for l in out.splitlines()
+            if l.strip().isdigit()] == baseline_output
+
+    assert main(["stat", str(bolted)]) == 0
+    assert "instructions" in capsys.readouterr().out
+
+
+def test_cli_build_pgo(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.pgo.belf"
+    assert main(["build", str(app), "-o", str(exe), "--pgo", "--lto"]) == 0
+    assert main(["run", str(exe)]) == 0
+
+
+def test_cli_dump(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.belf"
+    main(["build", str(app), "-o", str(exe)])
+    capsys.readouterr()
+    assert main(["dump", str(exe), "-f", "helper"]) == 0
+    out = capsys.readouterr().out
+    assert 'Binary Function "helper"' in out
+    assert "BB Layout" in out
+
+
+def test_cli_dump_with_profile(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.belf"
+    fdata = workdir / "app.fdata"
+    main(["build", str(app), "-o", str(exe)])
+    main(["profile", str(exe), "-o", str(fdata), "--period", "51"])
+    capsys.readouterr()
+    assert main(["dump", str(exe), "-f", "main", "-p", str(fdata)]) == 0
+    out = capsys.readouterr().out
+    assert "Exec Count" in out
+
+
+def test_cli_dump_unknown_function(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.belf"
+    main(["build", str(app), "-o", str(exe)])
+    assert main(["dump", str(exe), "-f", "nope"]) == 1
+
+
+def test_cli_bolt_without_profile(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.belf"
+    bolted = workdir / "app.noprof.belf"
+    main(["build", str(app), "-o", str(exe)])
+    assert main(["bolt", str(exe), "-o", str(bolted)]) == 0
+    assert main(["run", str(bolted)]) == 0
+
+
+def test_cli_objdump(workdir, capsys):
+    app = workdir / "app.bc"
+    exe = workdir / "app.belf"
+    main(["build", str(app), "-o", str(exe)])
+    capsys.readouterr()
+    assert main(["objdump", str(exe)]) == 0
+    out = capsys.readouterr().out
+    assert "Disassembly of section .text:" in out
+    assert "<main>:" in out
+    assert "retq" in out

@@ -1,0 +1,172 @@
+"""Dataflow framework tests: use/def tables, liveness, dominators,
+stack-slot analysis."""
+
+from hypothesis import given, strategies as st
+
+from repro.compiler import BuildOptions, build_executable
+from repro.core import BinaryContext, BoltOptions
+from repro.core.binary_function import BinaryBasicBlock, BinaryFunction
+from repro.core.cfg_builder import build_all_functions
+from repro.core.discovery import discover_functions
+from repro.core.dataflow import (
+    FLAGS,
+    dominators,
+    insn_uses_defs,
+    liveness,
+    reachable_from,
+    stack_slot_accesses,
+)
+from repro.ir import InlinePolicy
+from repro.isa import Instruction, Op, RAX, RBP, RBX, RCX, RSP
+
+
+def test_uses_defs_table_consistency():
+    cases = [
+        (Instruction(Op.MOV_RR, (RAX, RBX)), {RBX}, {RAX}),
+        (Instruction(Op.ADD_RR, (RAX, RBX)), {RAX, RBX}, {RAX}),
+        (Instruction(Op.ADD_RI, (RAX,), imm=1), {RAX}, {RAX}),
+        (Instruction(Op.LOAD, (RAX, RBP), disp=-8), {RBP}, {RAX}),
+        (Instruction(Op.STORE, (RBP, RBX), disp=-8), {RBP, RBX}, set()),
+        (Instruction(Op.CMP_RR, (RAX, RBX)), {RAX, RBX}, {FLAGS}),
+        (Instruction(Op.SETCC, (RCX,), imm=0), {FLAGS}, {RCX}),
+        (Instruction(Op.PUSH, (RBX,)), {RBX, RSP}, {RSP}),
+        (Instruction(Op.POP, (RBX,)), {RSP}, {RBX, RSP}),
+        (Instruction(Op.LOADIDX, (RAX, RBX, RCX)), {RBX, RCX}, {RAX}),
+        (Instruction(Op.JCC_SHORT, cc=0, target=0), {FLAGS}, set()),
+        (Instruction(Op.JMP_REG, (RAX,)), {RAX}, set()),
+        (Instruction(Op.RET), {RAX, RSP}, {RSP}),
+    ]
+    for insn, uses, defs in cases:
+        got_uses, got_defs = insn_uses_defs(insn)
+        assert got_uses == uses, insn
+        assert got_defs == defs, insn
+
+
+def test_call_clobbers_caller_saved():
+    from repro.isa import SymRef
+    from repro.isa.registers import CALLER_SAVED
+
+    uses, defs = insn_uses_defs(Instruction(Op.CALL, sym=SymRef("f", "branch")))
+    assert set(CALLER_SAVED) <= defs
+    assert RBX not in defs  # callee-saved survive
+
+
+def _func_from_source(text, name="f"):
+    exe, _ = build_executable(
+        [("m", text)], BuildOptions(inline=InlinePolicy(max_size=0)),
+        emit_relocs=True)
+    context = BinaryContext(exe, BoltOptions())
+    discover_functions(context)
+    build_all_functions(context)
+    return context.functions[name]
+
+
+def test_liveness_param_live_into_use():
+    func = _func_from_source("""
+func f(a) {
+  var x = a + 1;
+  if (x > 2) { return x; }
+  return a;
+}
+func main() { return f(1); }
+""")
+    live_in, live_out = liveness(func)
+    # rdi (the argument register) is live into the entry block.
+    assert 7 in live_in[func.entry_label]
+
+
+def test_liveness_callee_saved_live_at_exit():
+    func = _func_from_source("""
+func f(a) {
+  var s = 0;
+  var i = 0;
+  while (i < a) { s = s + i; i = i + 1; }
+  return s;
+}
+func main() { return f(3); }
+""")
+    live_in, live_out = liveness(func)
+    for label, block in func.blocks.items():
+        term = block.terminator()
+        if term is not None and term.is_return:
+            assert RBX in live_out[label]
+            assert RAX in live_out[label]
+
+
+def test_dominators_diamond():
+    func = BinaryFunction("d", 0, 10)
+    for label in ("e", "a", "b", "j"):
+        func.add_block(BinaryBasicBlock(label))
+    func.blocks["e"].set_edge("a")
+    func.blocks["e"].set_edge("b")
+    func.blocks["a"].set_edge("j")
+    func.blocks["b"].set_edge("j")
+    dom = dominators(func)
+    assert dom["j"] == {"e", "j"}
+    assert dom["a"] == {"e", "a"}
+
+
+def test_dominators_ignore_unreachable():
+    func = BinaryFunction("d", 0, 10)
+    for label in ("e", "a", "dead"):
+        func.add_block(BinaryBasicBlock(label))
+    func.blocks["e"].set_edge("a")
+    func.blocks["dead"].set_edge("a")  # unreachable predecessor
+    dom = dominators(func)
+    assert "e" in dom["a"]  # not polluted by the unreachable block
+
+
+def test_reachability_includes_landing_pads():
+    func = BinaryFunction("d", 0, 10)
+    for label in ("e", "lp"):
+        func.add_block(BinaryBasicBlock(label))
+    func.blocks["e"].landing_pads.append("lp")
+    assert reachable_from(func, "e") == {"e", "lp"}
+
+
+def test_stack_slot_analysis():
+    func = BinaryFunction("d", 0, 10)
+    block = func.add_block(BinaryBasicBlock("e"))
+    block.insns = [
+        Instruction(Op.STORE, (RBP, RBX), disp=-8),
+        Instruction(Op.LOAD, (RAX, RBP), disp=-16),
+        Instruction(Op.STORE, (RBP, RCX), disp=-24),
+    ]
+    loads, stores, escapes = stack_slot_accesses(func)
+    assert stores == {-8, -24}
+    assert loads == {-16}
+    assert not escapes
+
+
+def test_stack_slot_escape_detection():
+    func = BinaryFunction("d", 0, 10)
+    block = func.add_block(BinaryBasicBlock("e"))
+    block.insns = [Instruction(Op.MOV_RR, (RCX, RBP))]
+    _, _, escapes = stack_slot_accesses(func)
+    assert escapes
+    block.insns = [Instruction(Op.LEA, (RCX, RBP), disp=-8)]
+    _, _, escapes = stack_slot_accesses(func)
+    assert escapes
+    # The epilogue's mov rsp, rbp is not an escape.
+    block.insns = [Instruction(Op.MOV_RR, (RSP, RBP))]
+    _, _, escapes = stack_slot_accesses(func)
+    assert not escapes
+
+
+@given(ops=st.lists(st.sampled_from([
+    Op.MOV_RR, Op.ADD_RR, Op.CMP_RR, Op.PUSH, Op.POP, Op.NEG,
+]), min_size=1, max_size=10))
+def test_prop_liveness_converges(ops):
+    """Liveness terminates and produces consistent in/out sets."""
+    func = BinaryFunction("p", 0, 10)
+    block = func.add_block(BinaryBasicBlock("e"))
+    for op in ops:
+        nregs = len(__import__("repro.isa.opcodes", fromlist=["OPERAND_FORMATS"])
+                    .OPERAND_FORMATS[op])
+        regs = tuple(range(min(2, max(1, nregs))))[:2]
+        if op in (Op.PUSH, Op.POP, Op.NEG):
+            block.insns.append(Instruction(op, (1,)))
+        else:
+            block.insns.append(Instruction(op, (1, 2)))
+    live_in, live_out = liveness(func)
+    assert set(live_in) == {"e"}

@@ -1,0 +1,134 @@
+"""Edge-case and option-plumbing tests across modules."""
+
+import pytest
+
+from repro.codegen import CodegenOptions, assemble_function
+from repro.codegen.machine import MachineBlock, MachineFunction
+from repro.compiler import BuildOptions, build_executable, compile_program
+from repro.core import BoltOptions
+from repro.isa import CondCode, Instruction, Op, decode_stream
+from repro.linker import link, LinkError
+from repro.uarch import Machine, run_binary
+from repro.workloads import WorkloadSpec
+
+
+def test_bolt_options_copy_is_independent():
+    options = BoltOptions()
+    clone = options.copy(icf=False, reorder_blocks="cache")
+    assert options.icf and not clone.icf
+    assert clone.reorder_blocks == "cache"
+    assert options.reorder_blocks == "cache+"
+
+
+def test_codegen_options_copy():
+    options = CodegenOptions(repz_ret=False)
+    clone = options.copy(align_loops=False)
+    assert not clone.repz_ret and not clone.align_loops
+    assert options.align_loops
+
+
+def test_build_options_copy():
+    options = BuildOptions(lto=True)
+    clone = options.copy(instrument=True)
+    assert clone.lto and clone.instrument
+    assert not options.instrument
+
+
+def test_workload_spec_copy():
+    spec = WorkloadSpec("x", seed=3, modules=2)
+    clone = spec.copy(seed=4)
+    assert clone.seed == 4 and clone.modules == 2
+    assert spec.seed == 3
+
+
+def test_relaxation_cascade():
+    """A chain of branches where relaxing one pushes others long."""
+    mf = MachineFunction("f", "f")
+    blocks = []
+    first = MachineBlock("b0")
+    first.insns = [Instruction(Op.JCC_SHORT, cc=CondCode.EQ, label="end")]
+    blocks.append(first)
+    # ~125 bytes of padding: the first branch is just on the short/long
+    # edge; every intermediate branch adds pressure.
+    for i in range(6):
+        block = MachineBlock(f"mid{i}")
+        block.insns = [
+            Instruction(Op.NOPN, imm=20),
+            Instruction(Op.JCC_SHORT, cc=CondCode.NE, label="end"),
+        ]
+        blocks.append(block)
+    end = MachineBlock("end")
+    end.insns = [Instruction(Op.RET)]
+    blocks.append(end)
+    mf.blocks = blocks
+    image = assemble_function(mf, normalize=False)
+    insns = decode_stream(image.code)
+    # All branches resolve to the same target.
+    targets = {i.target for i in insns if i.is_cond_branch}
+    assert targets == {image.labels["end"]}
+    # Early branches went long; the last stayed short.
+    forms = [i.op for i in insns if i.is_cond_branch]
+    assert forms[0] == Op.JCC_LONG
+    assert forms[-1] == Op.JCC_SHORT
+
+
+def test_linker_function_order_with_unknown_names():
+    objs = compile_program([("m", "func main() { return 0; }")]).objects
+    exe = link(objs, function_order=["ghost", "main"])
+    assert exe.entry == exe.get_symbol("main").value
+
+
+def test_linker_duplicate_between_app_and_lib():
+    app = compile_program([("a", "func f() { return 1; }\n"
+                                 "func main() { return f(); }")]).objects
+    lib = compile_program([("lib", "func f() { return 2; }")]).objects
+    with pytest.raises(LinkError):
+        link(app, libs=lib)
+
+
+def test_machine_poke_unknown_array():
+    exe, _ = build_executable([("t", "func main() { return 0; }")])
+    machine = Machine(exe)
+    with pytest.raises(KeyError):
+        machine.poke_array("t::nope", [1])
+
+
+def test_peek_counters_roundtrip():
+    exe, _ = build_executable([("t", """
+array data[4];
+func main() { data[1] = 77; return 0; }
+""")])
+    machine = Machine(exe)
+    cpu_exe = run_binary(exe)
+    machine2 = cpu_exe.machine
+    assert machine2.peek_array("t::data", 4) == [0, 77, 0, 0]
+
+
+def test_interp_set_unknown_array():
+    from repro.lang import parse_module
+    from repro.lang.interp import Interpreter
+
+    interp = Interpreter([parse_module("func main() { return 0; }", "t")])
+    with pytest.raises(KeyError):
+        interp.set_array("t", "nope", [1])
+
+
+def test_empty_function_body():
+    exe, _ = build_executable([("t", "func noop() { }\n"
+                                     "func main() { return noop(); }")])
+    assert run_binary(exe).exit_code == 0
+
+
+def test_out_negative_values():
+    exe, _ = build_executable([("t", "func main() { out -1; out -(1 << 62); return 0; }")])
+    assert run_binary(exe).output == [-1, -(1 << 62)]
+
+
+def test_single_module_many_functions():
+    funcs = "\n".join(f"func f{i}(x) {{ return x + {i}; }}"
+                      for i in range(80))
+    calls = " + ".join(f"f{i}({i})" for i in range(80))
+    exe, _ = build_executable([("t", funcs + f"""
+func main() {{ out {calls}; return 0; }}""")])
+    cpu = run_binary(exe)
+    assert cpu.output == [sum(2 * i for i in range(80))]

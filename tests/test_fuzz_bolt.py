@@ -1,0 +1,89 @@
+"""Fuzzing the full pipeline: randomly-shaped generated workloads are
+compiled, linked, profiled, BOLTed (both modes) and executed; every
+variant must reproduce the reference interpreter's output stream.
+
+This is the heavyweight counterpart of the per-module property tests:
+it shakes interactions between the workload generator's features
+(switches, function pointers, EH, indirect tail calls, duplicates) and
+every stage of the toolchain.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import BoltOptions
+from repro.harness import build_workload, measure, run_bolt, sample_profile
+from repro.lang import parse_module
+from repro.lang.interp import Interpreter
+from repro.profiling import SamplingConfig
+from repro.workloads import WorkloadSpec, generate_workload
+
+
+def reference(workload):
+    modules = [parse_module(t, n) for n, t in
+               workload.sources + workload.lib_sources + workload.asm_sources]
+    interp = Interpreter(modules, max_steps=80_000_000)
+    interp.set_array("mainmod", "input", workload.inputs["mainmod::input"])
+    interp.run("main")
+    return interp.output
+
+
+@st.composite
+def _spec(draw):
+    return WorkloadSpec(
+        "fuzz",
+        seed=draw(st.integers(0, 10_000)),
+        modules=draw(st.integers(1, 3)),
+        workers_per_module=draw(st.integers(2, 5)),
+        leaves_per_module=draw(st.integers(1, 3)),
+        iterations=draw(st.integers(20, 60)),
+        hot_entries=draw(st.integers(1, 2)),
+        switch_funcs_per_module=draw(st.integers(0, 2)),
+        fptr_funcs_per_module=draw(st.integers(0, 1)),
+        itail_funcs_per_module=draw(st.integers(0, 1)),
+        eh_funcs_per_module=draw(st.integers(0, 1)),
+        dup_leaf_groups=draw(st.integers(0, 2)),
+        asm_module=draw(st.booleans()),
+        cold_modulus=draw(st.sampled_from((17, 41, 101))),
+        use_runtime_lib=draw(st.booleans()),
+        input_kind=draw(st.sampled_from(("uniform", "skewed", "bursty"))),
+    )
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(spec=_spec())
+def test_fuzz_full_pipeline(spec):
+    workload = generate_workload(spec)
+    expected = reference(workload)
+
+    built = build_workload(workload)
+    baseline = measure(built, max_instructions=30_000_000)
+    assert baseline.output == expected
+
+    profile, _ = sample_profile(
+        built, sampling=SamplingConfig(period=83),
+        max_instructions=30_000_000)
+    result = run_bolt(built, profile, BoltOptions())
+    optimized = measure(result.binary, inputs=workload.inputs,
+                        max_instructions=30_000_000)
+    assert optimized.output == expected
+
+
+@settings(max_examples=4, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow,
+                                 HealthCheck.data_too_large])
+@given(spec=_spec(), seed2=st.integers(0, 3))
+def test_fuzz_inplace_and_nolbr(spec, seed2):
+    workload = generate_workload(spec)
+    expected = reference(workload)
+
+    built = build_workload(workload, emit_relocs=(seed2 % 2 == 0))
+    profile, _ = sample_profile(
+        built, sampling=SamplingConfig(period=83, use_lbr=(seed2 < 2)),
+        max_instructions=30_000_000)
+    result = run_bolt(built, profile, BoltOptions())
+    optimized = measure(result.binary, inputs=workload.inputs,
+                        max_instructions=30_000_000)
+    assert optimized.output == expected

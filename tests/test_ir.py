@@ -1,0 +1,505 @@
+"""IR construction and optimization tests."""
+
+import pytest
+
+from repro.ir import (
+    Imm,
+    IRInst,
+    build_module,
+    inline_module,
+    InlinePolicy,
+    layout_blocks,
+    optimize_function,
+    optimize_module,
+)
+from repro.ir.instrument import instrument_module, derive_edge_counts
+from repro.ir.passes import eval_binop, split_critical_edges
+from repro.lang import parse_module
+
+
+def build(text, name="t"):
+    return build_module(parse_module(text, name))
+
+
+def func_of(text, fname):
+    return build(text).functions[fname]
+
+
+def count_insts(func, kind=None):
+    total = 0
+    for block in func.blocks.values():
+        for inst in block.insts:
+            if kind is None or inst.kind == kind:
+                total += 1
+    return total
+
+
+# -- eval_binop ----------------------------------------------------------------
+
+
+def test_eval_binop_division():
+    assert eval_binop("/", -7, 2) == -3
+    assert eval_binop("%", -7, 2) == -1
+    assert eval_binop("/", 7, -2) == -3
+    assert eval_binop("%", 7, -2) == 1
+    assert eval_binop("/", 1, 0) is None
+    assert eval_binop("%", 1, 0) is None
+
+
+def test_eval_binop_wrapping():
+    assert eval_binop("+", 2**63 - 1, 1) == -(2**63)
+    assert eval_binop("*", 2**32, 2**32) == 0
+    assert eval_binop("<<", 1, 64) == 1  # shift amounts mask to 6 bits
+
+
+def test_eval_binop_comparisons():
+    assert eval_binop("<", -1, 0) == 1
+    assert eval_binop("u<", -1, 0) == 0  # unsigned view
+
+
+# -- lowering ------------------------------------------------------------------
+
+
+def test_builder_structure():
+    func = func_of("""
+func f(x) {
+  var y = 0;
+  if (x > 0) { y = 1; } else { y = 2; }
+  while (y < 10) { y = y + x; }
+  return y;
+}
+""", "f")
+    kinds = {b.terminator.kind for b in func.blocks.values()}
+    assert "cbr" in kinds and "ret" in kinds
+    assert func.entry in func.blocks
+
+
+def test_builder_switch():
+    func = func_of("""
+func f(x) {
+  switch (x) { case 1: { return 10; } case 2: { return 20; } }
+  return 0;
+}
+""", "f")
+    assert any(b.terminator.kind == "switch" for b in func.blocks.values())
+
+
+def test_builder_landing_pad_flagged():
+    func = func_of("""
+func f(x) {
+  try { throw x; } catch (e) { return e; }
+  return 0;
+}
+""", "f")
+    assert any(b.is_landing_pad for b in func.blocks.values())
+    throws = [i for b in func.blocks.values() for i in b.insts
+              if i.kind == "throw"]
+    assert throws and throws[0].lp is not None
+
+
+def test_builder_call_lp_annotation():
+    func = func_of("""
+func g() { return 0; }
+func f() {
+  try { g(); } catch (e) { return e; }
+  return 1;
+}
+""", "f")
+    calls = [i for b in func.blocks.values() for i in b.insts
+             if i.kind == "call"]
+    assert calls and calls[0].lp is not None
+
+
+def test_builder_short_circuit_blocks():
+    func = func_of("func f(a, b) { if (a > 0 && b > 0) { return 1; } return 0; }",
+                   "f")
+    # && lowers to an extra block, not to a boolean materialization.
+    assert count_insts(func, "binop") == 0
+
+
+def test_builder_static_link_names():
+    module = build("static func s() { return 0; } func g() { return s(); }")
+    call = [i for b in module.functions["g"].blocks.values()
+            for i in b.insts if i.kind == "call"][0]
+    assert call.sym == "t::s"
+
+
+def test_builder_unreachable_removed():
+    func = func_of("func f() { return 1; return 2; }", "f")
+    rets = [b for b in func.blocks.values() if b.terminator.kind == "ret"]
+    assert len(rets) == 1
+
+
+# -- optimizations ----------------------------------------------------------------
+
+
+def test_const_folding():
+    func = func_of("func f() { var x = 2 + 3 * 4; return x + 1; }", "f")
+    optimize_function(func)
+    # Everything folds to `ret $15`.
+    ret = next(b.terminator for b in func.blocks.values()
+               if b.terminator.kind == "ret")
+    assert ret.a == Imm(15)
+    assert count_insts(func, "binop") == 0
+
+
+def test_const_branch_folding():
+    func = func_of("""
+func f() {
+  if (1 > 2) { return 100; }
+  return 200;
+}
+""", "f")
+    optimize_function(func)
+    assert len(func.blocks) == 1
+    assert all(b.terminator.kind == "ret" for b in func.blocks.values())
+
+
+def test_dce_keeps_side_effects():
+    func = func_of("""
+var g = 0;
+func callee() { g = g + 1; return 9; }
+func f() { var dead = callee(); return 0; }
+""", "f")
+    optimize_function(func)
+    calls = [i for b in func.blocks.values() for i in b.insts
+             if i.kind == "call"]
+    assert len(calls) == 1
+    assert calls[0].dst is None  # result dropped but call kept
+
+
+def test_dce_removes_pure():
+    func = func_of("func f(x) { var dead = x * 3 + 1; return x; }", "f")
+    optimize_function(func)
+    assert count_insts(func, "binop") == 0
+
+
+def test_dce_keeps_trapping_division():
+    func = func_of("func f(x, y) { var dead = x / y; return x; }", "f")
+    optimize_function(func)
+    assert count_insts(func, "binop") == 1  # division may trap: kept
+
+
+def test_algebraic_identities():
+    func = func_of("func f(x) { return (x + 0) * 1 / 1; }", "f")
+    optimize_function(func)
+    assert count_insts(func, "binop") == 0
+
+
+def test_block_merging():
+    func = func_of("""
+func f(x) {
+  var a = x + 1;
+  if (1) { a = a + 2; }
+  return a;
+}
+""", "f")
+    optimize_function(func)
+    assert len(func.blocks) == 1
+
+
+def test_optimize_preserves_edge_counts_on_thread():
+    func = func_of("""
+func f(x) {
+  if (x > 0) { return 1; }
+  return 2;
+}
+""", "f")
+    split_critical_edges(func)
+    for name, block in func.blocks.items():
+        block.count = 10
+    func.edge_counts = {
+        (a, s): 5 for a, b in func.blocks.items() for s in b.successors()
+    }
+    optimize_function(func)
+    assert all(count >= 0 for count in func.edge_counts.values())
+
+
+# -- inlining ----------------------------------------------------------------------
+
+
+def test_inline_same_module():
+    module = build("""
+func tiny(x) { return x + 1; }
+func caller(y) { return tiny(y) * 2; }
+""")
+    inline_module([module], InlinePolicy(max_size=10))
+    caller = module.functions["caller"]
+    assert count_insts(caller, "call") == 0
+
+
+def test_inline_cross_module_requires_lto():
+    m1 = build("func tiny(x) { return x + 1; }", "m1")
+    m2 = build("func caller(y) { return tiny(y); }", "m2")
+    inline_module([m1, m2], InlinePolicy(max_size=10), lto=False)
+    assert count_insts(m2.functions["caller"], "call") == 1
+    inline_module([m1, m2], InlinePolicy(max_size=10), lto=True)
+    assert count_insts(m2.functions["caller"], "call") == 0
+
+
+def test_inline_respects_size_threshold():
+    module = build("""
+func big(x) {
+  var a = x + 1; a = a * 2; a = a + 3; a = a * 4; a = a + 5;
+  a = a * 6; a = a + 7; a = a * 8; a = a + 9; a = a * 10;
+  a = a + 11; a = a * 12; a = a + 13; a = a * 14;
+  return a;
+}
+func caller(y) { return big(y); }
+""")
+    inline_module([module], InlinePolicy(max_size=4))
+    assert count_insts(module.functions["caller"], "call") == 1
+
+
+def test_inline_no_self_recursion():
+    module = build("func r(x) { if (x > 0) { return r(x - 1); } return 0; }")
+    inline_module([module], InlinePolicy(max_size=100))
+    assert count_insts(module.functions["r"], "call") == 1
+
+
+def test_inline_profile_scaling():
+    module = build("""
+func callee(x) { if (x > 0) { return 1; } return 2; }
+func caller(y) { return callee(y); }
+""")
+    callee = module.functions["callee"]
+    caller = module.functions["caller"]
+    for block in callee.blocks.values():
+        block.count = 100
+    callee.entry_count = 100
+    for block in caller.blocks.values():
+        block.count = 50
+    caller.entry_count = 50
+    inline_module([module], InlinePolicy(max_size=50), use_profile=True)
+    cloned = [b for name, b in caller.blocks.items() if "_inl" in name]
+    assert cloned
+    assert all(b.count == 50 for b in cloned)  # scaled by 50/100 * 100
+
+
+def test_inline_landing_pad_propagation():
+    module = build("""
+func risky(x) { return dangerous(x); }
+func f(y) {
+  var r = 0;
+  try { r = risky(y); } catch (e) { r = e; }
+  return r;
+}
+""")
+    inline_module([module], InlinePolicy(max_size=20))
+    f = module.functions["f"]
+    inlined_calls = [i for b in f.blocks.values() for i in b.insts
+                     if i.kind == "call" and i.sym == "dangerous"]
+    assert inlined_calls and inlined_calls[0].lp is not None
+
+
+# -- instrumentation ----------------------------------------------------------------
+
+
+def test_instrument_counts_blocks():
+    module = build("""
+func f(x) {
+  if (x > 0) { return 1; }
+  return 2;
+}
+""")
+    keys = instrument_module(module)
+    func = module.functions["f"]
+    profcounts = count_insts(func, "profcount")
+    assert profcounts == len(func.blocks) == len(keys)
+    assert all(key[0] == "f" for key in keys)
+
+
+def test_instrument_landing_pad_position():
+    module = build("""
+func f(x) {
+  try { throw x; } catch (e) { return e; }
+  return 0;
+}
+""")
+    instrument_module(module)
+    func = module.functions["f"]
+    for block in func.blocks.values():
+        if block.is_landing_pad:
+            assert block.insts[0].kind == "landingpad"
+            assert block.insts[1].kind == "profcount"
+
+
+def test_derive_edge_counts_exact():
+    module = build("""
+func f(x) {
+  var s = 0;
+  if (x > 0) { s = 1; } else { s = 2; }
+  return s;
+}
+""")
+    func = module.functions["f"]
+    split_critical_edges(func)
+    # Simulate: entry 10 times, then-branch 7, else 3.
+    counts = {}
+    preds = func.predecessors()
+    entry = func.entry
+    then_block = next(n for n in func.blocks if n.startswith("then"))
+    else_block = next(n for n in func.blocks if n.startswith("else"))
+    join = next(n for n in func.blocks if n.startswith("join"))
+    counts = {entry: 10, then_block: 7, else_block: 3, join: 10}
+    for name in func.blocks:
+        counts.setdefault(name, 0)
+    edges = derive_edge_counts(func, counts)
+    assert edges[(entry, then_block)] == 7
+    assert edges[(entry, else_block)] == 3
+
+
+def test_split_critical_edges():
+    module = build("""
+func f(x) {
+  while (x > 0) {
+    if (x % 2 == 0) { x = x - 2; } else { x = x - 1; }
+  }
+  return x;
+}
+""")
+    func = module.functions["f"]
+    split_critical_edges(func)
+    preds = func.predecessors()
+    for name, block in func.blocks.items():
+        succs = block.successors()
+        if len(succs) > 1:
+            for succ in succs:
+                assert len(preds[succ]) == 1, f"critical edge to {succ}"
+
+
+# -- layout ------------------------------------------------------------------------
+
+
+def test_layout_hot_fallthrough():
+    module = build("""
+func f(x) {
+  if (x == 0) { return 111; }
+  return 222;
+}
+""")
+    func = module.functions["f"]
+    split_critical_edges(func)
+    then_block = next(n for n in func.blocks if n.startswith("then"))
+    # Make the 'else' side hot: layout should put it right after entry.
+    for name, block in func.blocks.items():
+        block.count = 5 if name == then_block else 100
+    func.edge_counts = {}
+    entry = func.entry
+    for succ in func.blocks[entry].successors():
+        func.edge_counts[(entry, succ)] = 5 if succ == then_block else 95
+    layout_blocks(func)
+    order = list(func.blocks)
+    assert order[0] == entry
+    assert order.index(then_block) > 1  # cold side pushed later
+
+
+def test_layout_noop_without_profile():
+    module = build("func f(x) { if (x) { return 1; } return 2; }")
+    func = module.functions["f"]
+    before = list(func.blocks)
+    layout_blocks(func)
+    assert list(func.blocks) == before
+
+
+# -- local CSE -----------------------------------------------------------------
+
+
+def cse_func(text, fname="f"):
+    func = func_of(text, fname)
+    optimize_function(func)
+    return func
+
+
+def test_cse_reuses_pure_expression():
+    func = cse_func("""
+array a[8];
+func f(x) {
+  var p = a[x] * 3;
+  var q = a[x] * 3;
+  return p + q;
+}
+""")
+    assert count_insts(func, "loadidx") == 1
+    muls = [i for b in func.blocks.values() for i in b.insts
+            if i.kind == "binop" and i.oper == "*"]
+    assert len(muls) == 1
+
+
+def test_cse_invalidated_by_store():
+    func = cse_func("""
+array a[8];
+func f(x) {
+  var p = a[x];
+  a[0] = 99;
+  var q = a[x];
+  return p + q;
+}
+""")
+    assert count_insts(func, "loadidx") == 2
+
+
+def test_cse_invalidated_by_call():
+    func = cse_func("""
+var g = 1;
+func other() { g = g + 1; return 0; }
+func f() {
+  var p = g;
+  other();
+  var q = g;
+  return p + q;
+}
+""")
+    assert count_insts(func, "loadg") == 2
+
+
+def test_cse_invalidated_by_operand_redefinition():
+    func = cse_func("""
+func f(x) {
+  var p = x * 5;
+  x = x + 1;
+  var q = x * 5;
+  return p + q;
+}
+""")
+    muls = [i for b in func.blocks.values() for i in b.insts
+            if i.kind == "binop" and i.oper == "*"]
+    assert len(muls) == 2
+
+
+def test_cse_never_merges_trapping_division():
+    func = cse_func("""
+func f(x, y) {
+  var p = x / y;
+  var q = x / y;
+  return p + q;
+}
+""")
+    divs = [i for b in func.blocks.values() for i in b.insts
+            if i.kind == "binop" and i.oper == "/"]
+    assert len(divs) == 2
+
+
+def test_cse_semantics_end_to_end():
+    from repro.compiler import build_executable
+    from repro.uarch import run_binary
+    from repro.lang.interp import Interpreter
+    from repro.lang import parse_module
+
+    src = """
+array a[8] = {5, 6, 7, 8};
+var g = 10;
+func bump() { g = g + 1; return g; }
+func main() {
+  var x = 2;
+  var p = a[x] * g + a[x] * g;
+  bump();
+  var q = a[x] * g;
+  out p; out q;
+  return 0;
+}
+"""
+    interp = Interpreter([parse_module(src, "t")])
+    interp.run("main")
+    exe, _ = build_executable([("t", src)])
+    assert run_binary(exe).output == interp.output

