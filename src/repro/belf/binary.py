@@ -1,5 +1,7 @@
 """The BELF container: sections + symbols + relocations + metadata."""
 
+import hashlib
+
 from repro.belf.constants import SymbolType
 from repro.belf.section import Section
 
@@ -104,6 +106,29 @@ class Binary:
         return {s.link_name() for s in self.symbols if s.section is not None}
 
     # -- misc ---------------------------------------------------------------
+
+    def content_hash(self):
+        """A build id: stable hash of executable code + function symbols.
+
+        Profiles are stamped with the id of the binary they were
+        collected on; the BOLT pipeline compares it against the binary
+        being optimized to detect stale (cross-build) profiles.  Only
+        code-identity inputs participate: section bytes and addresses
+        of executable sections, plus FUNC symbol placement.
+        """
+        h = hashlib.sha256()
+        for section in self.sections.values():
+            if not section.is_exec:
+                continue
+            h.update(section.name.encode())
+            h.update(section.addr.to_bytes(8, "little"))
+            h.update(bytes(section.data))
+        for sym in sorted(self.functions(),
+                          key=lambda s: (s.link_name(), s.value)):
+            h.update(sym.link_name().encode())
+            h.update(sym.value.to_bytes(8, "little", signed=False))
+            h.update(sym.size.to_bytes(8, "little", signed=False))
+        return h.hexdigest()[:16]
 
     @property
     def is_executable(self):

@@ -18,6 +18,7 @@ import sys
 from repro.belf import read_binary, write_binary
 from repro.compiler import BuildOptions, build_executable
 from repro.core import BinaryContext, BoltOptions, optimize_binary
+from repro.core.diagnostics import Severity, StrictModeError
 from repro.core.cfg_builder import build_all_functions
 from repro.core.discovery import discover_functions
 from repro.core.profile_attach import attach_profile
@@ -88,11 +89,19 @@ def cmd_bolt(args):
         reorder_blocks=args.reorder_blocks,
         reorder_functions=args.reorder_functions,
         split_functions=args.split_functions,
+        strict=args.strict,
+        verify_cfg=args.verify_cfg,
+        validate_output=args.validate,
     )
     result = optimize_binary(exe, profile, options)
     pathlib.Path(args.output).write_bytes(write_binary(result.binary))
     print(f"wrote {args.output}: hot text {result.hot_text_size}B "
           f"(+{result.cold_text_size}B cold), was {exe.text_size()}B")
+    for line in result.diagnostics.render(Severity.WARNING):
+        print(line, file=sys.stderr)
+    if result.degraded:
+        print(f"BOLT-WARNING: output degraded to {result.degraded} mode",
+              file=sys.stderr)
     if args.verbose:
         print(result.summary())
     if args.dyno_stats and result.dyno_before is not None:
@@ -204,9 +213,20 @@ def make_parser():
                    choices=["none", "hfsort", "hfsort+"])
     p.add_argument("--split-functions", type=int, default=3)
     p.add_argument("--dyno-stats", action="store_true")
+    mode = p.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="turn contained warnings into hard failures")
+    mode.add_argument("--tolerant", dest="strict", action="store_false",
+                      help="contain per-function failures and degrade "
+                           "gracefully (default)")
+    p.add_argument("--verify-cfg", action="store_true",
+                   help="validate CFG invariants between passes")
+    p.add_argument("--validate", default="structural",
+                   choices=["none", "structural", "execute"],
+                   help="post-rewrite validation gate level")
+    p.set_defaults(func=cmd_bolt, strict=False)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print a BOLT-INFO summary of the rewrite")
-    p.set_defaults(func=cmd_bolt)
 
     p = sub.add_parser("stat", help="perf-stat analog")
     p.add_argument("binary")
@@ -228,6 +248,7 @@ def make_parser():
 
 def main(argv=None):
     from repro.belf import BelfFormatError
+    from repro.core.rewriter import RewriteError
     from repro.lang import LexError, ParseError, SemaError
     from repro.linker import LinkError
     from repro.profiling import YamlProfileError
@@ -238,11 +259,17 @@ def main(argv=None):
     try:
         return args.func(args) or 0
     except FileNotFoundError as exc:
-        print(f"error: no such file: {exc.filename}", file=sys.stderr)
+        print(f"BOLT-ERROR: no such file: {exc.filename}", file=sys.stderr)
     except (LexError, ParseError, SemaError) as exc:
         print(f"error: {exc}", file=sys.stderr)
     except (BelfFormatError, YamlProfileError, ValueError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # Malformed binary / profile inputs: one diagnostic line, no
+        # Python traceback.
+        print(f"BOLT-ERROR: malformed input: {exc}", file=sys.stderr)
+    except StrictModeError as exc:
+        print(f"BOLT-ERROR: strict mode: {exc}", file=sys.stderr)
+    except RewriteError as exc:
+        print(f"BOLT-ERROR: {exc}", file=sys.stderr)
     except LinkError as exc:
         print(f"link error: {exc}", file=sys.stderr)
     except MachineFault as exc:

@@ -12,7 +12,8 @@ and the optimization pipeline implements all 16 passes of Table 1.
 from repro.core.options import BoltOptions
 from repro.core.binary_function import BinaryBasicBlock, BinaryFunction, JumpTable
 from repro.core.binary_context import BinaryContext
-from repro.core.rewriter import optimize_binary, RewriteResult
+from repro.core.diagnostics import Diagnostic, Diagnostics, Severity, StrictModeError
+from repro.core.rewriter import optimize_binary, RewriteError, RewriteResult
 from repro.core.dyno_stats import DynoStats, compute_dyno_stats
 from repro.core.hfsort import hfsort, hfsort_plus, CallGraph
 from repro.core.reports import report_bad_layout, dump_function
@@ -23,7 +24,12 @@ __all__ = [
     "BinaryFunction",
     "JumpTable",
     "BinaryContext",
+    "Diagnostic",
+    "Diagnostics",
+    "Severity",
+    "StrictModeError",
     "optimize_binary",
+    "RewriteError",
     "RewriteResult",
     "DynoStats",
     "compute_dyno_stats",

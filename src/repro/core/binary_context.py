@@ -3,6 +3,7 @@
 import bisect
 
 from repro.belf import RelocType, SymbolType
+from repro.core.diagnostics import Diagnostics
 from repro.linker import BUILTINS
 
 
@@ -17,6 +18,9 @@ class BinaryContext:
     def __init__(self, binary, options):
         self.binary = binary
         self.options = options
+        self.diagnostics = Diagnostics(strict=getattr(options, "strict", False))
+        self.stale_profile = False
+        self.profile_quality = None
         self.has_relocations = bool(binary.relocations)
         if options.use_relocations is None:
             self.use_relocations = self.has_relocations

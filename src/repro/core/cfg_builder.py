@@ -170,6 +170,46 @@ def build_function_cfg(context, func):
     return func
 
 
+def demote_to_raw(context, func, reason):
+    """Reset a function to the conservative byte-identical state.
+
+    Used by per-function error containment: when an optimization pass
+    blows up on (or corrupts) a function mid-pipeline, the function is
+    demoted exactly as if CFG reconstruction had never trusted it —
+    original bytes emitted verbatim, external transfers re-symbolized
+    so the body stays correct even if relocations mode moves it.
+    """
+    func.mark_non_simple(reason)
+    func.jump_tables = []
+    func.is_cold_fragment = False
+    record = context.binary.frame_records.get(func.name)
+    func.frame_record = record.copy() if record is not None else None
+    func.blocks = {}
+    func.entry_label = None
+    try:
+        insns = decode_stream(func.raw_bytes, base_address=func.address)
+    except DecodeError:
+        _build_syntactic_blocks(func, [])
+        func.simple_violation = reason
+        return func
+    if context.use_relocations:
+        _symbolize_abs64(context, func, insns)
+    start, end = func.address, func.address + func.size
+    for insn in insns:
+        if insn.target is None:
+            continue
+        if insn.is_branch and not start <= insn.target < end:
+            _symbolize_external(context, func, insn, tail=True)
+        elif insn.op == Op.CALL and (insn.target == func.address
+                                     or not start <= insn.target < end):
+            _symbolize_external(context, func, insn, tail=False)
+    _build_syntactic_blocks(func, insns)
+    # _symbolize_external may have overwritten the reason; the
+    # containment reason is the one worth reporting.
+    func.simple_violation = reason
+    return func
+
+
 def _match_jump_table(context, func, insns, index):
     """Recognize MOV_RI32 base, table; LOADIDX r, base, idx; JMP_REG r."""
     if index < 2:

@@ -40,6 +40,13 @@ class BoltOptions:
         dyno_stats=True,
         align_functions=16,
         cold_section_name=".text.cold",
+        strict=False,                   # warnings become hard failures
+        verify_cfg=False,               # inter-pass CFG validation
+        validate_output="structural",   # none | structural | execute
+        validate_inputs=None,           # smoke inputs for "execute"
+        validate_max_instructions=5_000_000,
+        stale_matching=True,            # fuzzy-match stale profiles
+        stale_min_quality=0.0,          # below: drop the profile entirely
     ):
         self.reorder_blocks = reorder_blocks
         self.reorder_functions = reorder_functions
@@ -70,6 +77,13 @@ class BoltOptions:
         self.dyno_stats = dyno_stats
         self.align_functions = align_functions
         self.cold_section_name = cold_section_name
+        self.strict = strict
+        self.verify_cfg = verify_cfg
+        self.validate_output = validate_output
+        self.validate_inputs = validate_inputs
+        self.validate_max_instructions = validate_max_instructions
+        self.stale_matching = stale_matching
+        self.stale_min_quality = stale_min_quality
 
     def copy(self, **overrides):
         out = BoltOptions()

@@ -1,4 +1,43 @@
-"""Pass framework + the Table 1 pipeline order."""
+"""Pass framework + the Table 1 pipeline order.
+
+Error containment (paper section 3.1 spirit): a pass crashing on one
+function must never take down the whole rewrite.  ``BinaryPass.run``
+snapshots each function's CFG before transforming it; if the pass
+raises, the snapshot is restored and the function is demoted to
+non-simple — original bytes emitted verbatim, exactly like functions
+BOLT conservatively skips at CFG-construction time — and a structured
+diagnostic is recorded.  Whole-context passes (ICF, inlining, function
+reordering) are contained at pass granularity instead.
+
+With ``BoltOptions.verify_cfg`` the manager additionally re-checks CFG
+structural invariants after every pass and demotes any function a pass
+corrupted without raising.
+"""
+
+import copy
+
+
+def snapshot_function(func):
+    """A restorable deep snapshot of a function's mutable CFG state."""
+    return copy.deepcopy(func)
+
+
+def restore_function(func, snapshot):
+    """Restore a function to a previously-taken snapshot, in place."""
+    func.__dict__.update(copy.deepcopy(snapshot.__dict__))
+    return func
+
+
+def contain_function_failure(context, func, component, exc):
+    """Demote a function a pass failed on; record a diagnostic."""
+    from repro.core.cfg_builder import demote_to_raw
+
+    context.diagnostics.warning(
+        component,
+        f"contained {type(exc).__name__}: {exc}; function demoted to "
+        f"non-simple (original bytes kept)",
+        function=func.name)
+    demote_to_raw(context, func, f"contained failure in {component}")
 
 
 class BinaryPass:
@@ -10,7 +49,14 @@ class BinaryPass:
         """Run over every optimizable function; returns a stats dict."""
         stats = {}
         for func in context.simple_functions():
-            result = self.run_on_function(context, func)
+            snapshot = snapshot_function(func)
+            try:
+                result = self.run_on_function(context, func)
+            except Exception as exc:
+                restore_function(func, snapshot)
+                contain_function_failure(
+                    context, func, f"pass:{self.name}", exc)
+                continue
             if result:
                 for key, value in result.items():
                     stats[key] = stats.get(key, 0) + value
@@ -26,9 +72,40 @@ class PassManager:
         self.stats = {}
 
     def run(self, context):
+        verify = getattr(context.options, "verify_cfg", False)
         for pass_ in self.passes:
-            self.stats[pass_.name] = pass_.run(context) or {}
+            try:
+                self.stats[pass_.name] = pass_.run(context) or {}
+            except Exception as exc:
+                # Whole-context passes (ICF, inline, reorder-functions)
+                # are contained at pass granularity: skip the pass, keep
+                # the pipeline alive.
+                from repro.core.diagnostics import StrictModeError
+                if isinstance(exc, StrictModeError):
+                    raise
+                context.diagnostics.error(
+                    f"pass:{pass_.name}",
+                    f"pass failed ({type(exc).__name__}: {exc}); skipped")
+                self.stats[pass_.name] = {}
+            if verify:
+                self._verify(context, pass_)
         return self.stats
+
+    def _verify(self, context, pass_):
+        from repro.core.cfg_builder import demote_to_raw
+        from repro.core.validate import ValidationError, validate_function
+
+        for func in context.simple_functions():
+            try:
+                validate_function(func)
+            except ValidationError as exc:
+                context.diagnostics.warning(
+                    f"verify-cfg:{pass_.name}",
+                    f"CFG invariants violated after pass: {exc}; "
+                    f"function demoted", function=func.name)
+                demote_to_raw(
+                    context, func,
+                    f"CFG corrupted by {pass_.name}")
 
 
 def build_pipeline(options):

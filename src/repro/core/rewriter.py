@@ -28,12 +28,14 @@ from repro.belf import (
 from repro.linker import BUILTINS
 from repro.core.binary_context import BinaryContext
 from repro.core.cfg_builder import ABS_SYMBOL, build_all_functions
+from repro.core.diagnostics import Severity
 from repro.core.discovery import discover_functions
 from repro.core.dyno_stats import compute_dyno_stats
 from repro.core.emitter import COLD_SUFFIX, Fragment, emit_function, _emit_raw
 from repro.core.options import BoltOptions
 from repro.core.passes.base import build_pipeline
 from repro.core.profile_attach import attach_profile
+from repro.core.validate import validate_execution, validate_rewrite
 
 
 class RewriteError(Exception):
@@ -50,6 +52,11 @@ class RewriteResult:
         self.reverted = []
         self.hot_text_size = 0
         self.cold_text_size = 0
+        self.degraded = None    # None | "in-place" | "passthrough"
+
+    @property
+    def diagnostics(self):
+        return self.context.diagnostics
 
     def summary(self):
         """A BOLT-INFO style textual report of what the run did."""
@@ -88,13 +95,79 @@ class RewriteResult:
                     f"BOLT-INFO: dyno-stats: taken branches {taken:+.1%}, "
                     f"executed instructions "
                     f"{delta['executed_instructions']:+.1%}")
+        if self.context.stale_profile:
+            quality = self.context.profile_quality
+            lines.append(
+                "BOLT-INFO: stale profile fuzzy-matched"
+                + (f" (quality {quality:.1%})" if quality is not None else ""))
+        if self.degraded:
+            lines.append(f"BOLT-WARNING: output degraded to "
+                         f"{self.degraded} mode")
+        lines.extend(self.diagnostics.render(Severity.WARNING))
         return "\n".join(lines)
 
 
 def optimize_binary(binary, profile=None, options=None):
     """Run the full BOLT pipeline; returns a RewriteResult whose
-    ``.binary`` is the optimized executable."""
+    ``.binary`` is the optimized executable.
+
+    Fault tolerance: per-function failures are contained by the pass
+    manager; a post-rewrite validation gate re-disassembles the output
+    and, on failure, walks a graceful-degradation ladder — retry
+    without relocations (in-place mode), then fall back to returning
+    the original binary — instead of shipping a corrupt executable.
+    In ``options.strict`` mode every contained event raises instead.
+    """
     options = options or BoltOptions()
+    if options.strict:
+        result = _optimize_once(binary, profile, options)
+        problems = _gate_problems(binary, result, options)
+        if problems:
+            raise RewriteError(
+                "post-rewrite validation failed: " + "; ".join(problems[:5]))
+        return result
+
+    attempts = [(None, options)]
+    wants_relocs = (options.use_relocations
+                    or (options.use_relocations is None
+                        and bool(binary.relocations)))
+    if wants_relocs:
+        attempts.append(("in-place", options.copy(use_relocations=False)))
+
+    carried = []
+    for degraded, opts in attempts:
+        try:
+            result = _optimize_once(binary, profile, opts)
+        except Exception as exc:
+            carried.append(("rewrite" if degraded is None
+                            else f"rewrite:{degraded}",
+                            f"rewrite failed ({type(exc).__name__}: {exc})"))
+            continue
+        for component, message in carried:
+            result.diagnostics.error(component, message)
+        problems = _gate_problems(binary, result, opts)
+        if not problems:
+            result.degraded = degraded
+            if degraded:
+                result.diagnostics.warning(
+                    "validate", f"degraded to {degraded} mode after "
+                    f"validation failure on the preferred mode")
+            return result
+        for problem in problems[:10]:
+            carried.append(("validate" if degraded is None
+                            else f"validate:{degraded}", problem))
+
+    # Last rung: ship the original binary unmodified.
+    result = _passthrough_result(binary, profile, options)
+    for component, message in carried:
+        result.diagnostics.error(component, message)
+    result.diagnostics.warning(
+        "validate", "all rewrite attempts failed validation; returning "
+        "the original binary unchanged")
+    return result
+
+
+def _optimize_once(binary, profile, options):
     context = BinaryContext(binary, options)
     discover_functions(context)
     build_all_functions(context)
@@ -109,6 +182,35 @@ def optimize_binary(binary, profile=None, options=None):
 
     result = RewriteResult(None, context, pass_stats, dyno_before, dyno_after)
     result.binary = _rewrite(context, result)
+    return result
+
+
+def _gate_problems(binary, result, options):
+    """Run the post-rewrite validation gate; returns problem strings."""
+    level = options.validate_output
+    if level in (None, "none"):
+        return []
+    problems = validate_rewrite(result.context, result.binary)
+    if not problems and level == "execute":
+        problems = validate_execution(
+            binary, result.binary, inputs=options.validate_inputs,
+            max_instructions=options.validate_max_instructions)
+    return problems
+
+
+def _passthrough_result(binary, profile, options):
+    """The ladder's last rung: the input binary, reported honestly."""
+    context = BinaryContext(binary, options)
+    try:
+        discover_functions(context)
+        build_all_functions(context)
+    except Exception:
+        pass  # reporting-only state; the binary itself is untouched
+    context.profile = profile
+    context.function_order = None
+    result = RewriteResult(binary, context, {}, None, None)
+    result.degraded = "passthrough"
+    result.hot_text_size = binary.text_size()
     return result
 
 

@@ -140,7 +140,8 @@ def _sample(exe, inputs, sampling, max_instructions):
                      max_instructions=max_instructions)
     mapper = AddressMapper(exe)
     profile = aggregate_samples(sampler.samples, mapper,
-                                event=sampling.event, lbr=sampling.use_lbr)
+                                event=sampling.event, lbr=sampling.use_lbr,
+                                build_id=exe.content_hash())
     return profile, cpu
 
 
@@ -194,10 +195,20 @@ def hfsort_link_order(exe, bin_profile, flavor="hfsort"):
     return hfsort(graph)
 
 
-def run_bolt(built_or_exe, profile, options=None):
-    """Apply BOLT; returns the RewriteResult."""
+def run_bolt(built_or_exe, profile, options=None, smoke_inputs=None):
+    """Apply BOLT; returns the RewriteResult.
+
+    When ``smoke_inputs`` is given (or the workload's inputs are known)
+    and the options request execution validation, the rewritten binary
+    is smoke-tested for output equivalence before being returned.
+    """
     exe = built_or_exe.exe if isinstance(built_or_exe, BuiltBinary) else built_or_exe
-    return optimize_binary(exe, profile, options or BoltOptions())
+    options = options or BoltOptions()
+    if options.validate_output == "execute" and options.validate_inputs is None:
+        if smoke_inputs is None and isinstance(built_or_exe, BuiltBinary):
+            smoke_inputs = built_or_exe.workload.inputs
+        options = options.copy(validate_inputs=smoke_inputs)
+    return optimize_binary(exe, profile, options)
 
 
 def speedup(baseline_cycles, optimized_cycles):

@@ -29,14 +29,15 @@ class AddressMapper:
         return (sym.link_name(), addr - sym.value)
 
 
-def aggregate_samples(samples, mapper, event="cycles", lbr=True):
+def aggregate_samples(samples, mapper, event="cycles", lbr=True,
+                      build_id=None):
     """Aggregate (pc, lbr_snapshot) samples into a BinaryProfile.
 
     Branch records with either endpoint outside known functions (PLT
     stubs, builtins) are dropped, as perf2bolt does for unmapped
     addresses.
     """
-    profile = BinaryProfile(event=event, lbr=lbr)
+    profile = BinaryProfile(event=event, lbr=lbr, build_id=build_id)
     for pc, snapshot in samples:
         loc = mapper.map(pc)
         if loc is not None:
@@ -67,5 +68,6 @@ def profile_binary(binary, inputs=None, config=None, sampling=None,
                      max_instructions=max_instructions)
     mapper = AddressMapper(binary)
     profile = aggregate_samples(sampler.samples, mapper,
-                                event=sampling.event, lbr=sampling.use_lbr)
+                                event=sampling.event, lbr=sampling.use_lbr,
+                                build_id=binary.content_hash())
     return profile, cpu

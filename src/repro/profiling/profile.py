@@ -16,13 +16,17 @@ class BinaryProfile:
             (the only signal available in non-LBR mode).
         event: the sampling event the profile came from.
         lbr: whether branch records are populated.
+        build_id: content hash of the binary the samples were collected
+            on (or None for hand-built profiles).  Lets the consumer
+            detect stale, cross-build profiles.
     """
 
-    def __init__(self, event="cycles", lbr=True):
+    def __init__(self, event="cycles", lbr=True, build_id=None):
         self.branches = {}
         self.ip_samples = {}
         self.event = event
         self.lbr = lbr
+        self.build_id = build_id
 
     def add_branch(self, from_loc, to_loc, mispred=False, count=1):
         entry = self.branches.get((from_loc, to_loc))
@@ -93,6 +97,8 @@ def write_fdata(profile):
         return name.replace("%", "%25").replace(" ", "%20")
 
     lines = [f"# event: {profile.event}", f"# lbr: {1 if profile.lbr else 0}"]
+    if profile.build_id:
+        lines.insert(1, f"# build-id: {profile.build_id}")
     for (f, t), (count, mispred) in sorted(profile.branches.items()):
         lines.append(
             f"1 {esc(f[0])} {f[1]:x} 1 {esc(t[0])} {t[1]:x} {mispred} {count}")
@@ -116,6 +122,8 @@ def parse_fdata(text):
                 profile.event = line.split(":", 1)[1].strip()
             elif line.startswith("# lbr:"):
                 profile.lbr = line.split(":", 1)[1].strip() == "1"
+            elif line.startswith("# build-id:"):
+                profile.build_id = line.split(":", 1)[1].strip() or None
             continue
         parts = line.split()
         if parts[0] == "1":

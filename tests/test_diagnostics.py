@@ -1,0 +1,56 @@
+"""Unit tests for the structured diagnostics collector."""
+
+import pytest
+
+from repro.core.diagnostics import (
+    Diagnostics,
+    Severity,
+    StrictModeError,
+)
+
+
+def test_severity_tags_and_ordering():
+    assert Severity.NOTE < Severity.WARNING < Severity.ERROR
+    assert Severity.NOTE.tag == "BOLT-INFO"
+    assert Severity.WARNING.tag == "BOLT-WARNING"
+    assert Severity.ERROR.tag == "BOLT-ERROR"
+
+
+def test_collects_and_filters():
+    diags = Diagnostics()
+    diags.note("cfg", "built 10 functions")
+    diags.warning("profile", "stale profile", function="foo")
+    diags.error("emit", "did not fit")
+
+    assert len(diags) == 3
+    assert [d.severity for d in diags.warnings] == [Severity.WARNING]
+    assert [d.severity for d in diags.errors] == [Severity.ERROR]
+    assert diags.worst() == Severity.ERROR
+    assert [d.message for d in diags.for_function("foo")] == ["stale profile"]
+
+
+def test_render_respects_min_severity():
+    diags = Diagnostics()
+    diags.note("cfg", "chatter")
+    diags.warning("passes", "contained", function="bar")
+    lines = diags.render(Severity.WARNING)
+    assert len(lines) == 1
+    assert lines[0].startswith("BOLT-WARNING:")
+    assert "bar" in lines[0]
+    assert len(diags.render(Severity.NOTE)) == 2
+
+
+def test_strict_mode_raises_on_warning_not_note():
+    diags = Diagnostics(strict=True)
+    diags.note("cfg", "fine")
+    with pytest.raises(StrictModeError):
+        diags.warning("passes", "something was contained")
+    with pytest.raises(StrictModeError):
+        diags.error("emit", "broken")
+
+
+def test_empty_collector():
+    diags = Diagnostics()
+    assert len(diags) == 0
+    assert diags.worst() is None
+    assert diags.render(Severity.NOTE) == []
