@@ -1,0 +1,209 @@
+"""Whole-binary lint: metadata/decode checks plus the IR checkers.
+
+Three tiers, cheapest first:
+
+1. **Metadata** (``BL101``/``BL103``/``BL104``/``BL106``): the entry
+   point, every FUNC symbol's bounds, overlaps, and relocation targets
+   are validated against the section map and symbol table alone.
+2. **Decode** (``BL102``/``BL105``): each function body is decoded
+   instruction by instruction; undecodable bytes and symbol sizes that
+   cut an instruction (or leave the body without a terminator) are
+   distinguished — the classic wrong-``.size``-directive headache of
+   the paper's section 3.3 maps to a different rule than a packed or
+   data-in-text body.
+3. **IR checkers**: CFGs are reconstructed and every function that
+   builds as *simple* runs the :mod:`repro.analysis.checkers` suite.
+
+``lint_binary`` is pure (never mutates its input) and is what both the
+``lint`` CLI subcommand and the ``--validate static`` gate call.
+"""
+
+from repro.analysis.checkers import check_function
+from repro.analysis.rules import Finding, LintReport, parse_suppressions
+from repro.belf import SymbolType
+from repro.isa.decoding import DecodeError, decode
+
+#: Symbols the rewriter may legitimately reference without defining.
+_KNOWN_EXTERNAL = ("__abs__",)
+
+
+def lint_binary(binary, options=None, suppress=()):
+    """Lint one binary; returns a :class:`LintReport`."""
+    report = LintReport(suppressions=parse_suppressions(suppress))
+    _lint_metadata(binary, report)
+    _lint_functions(binary, options, report)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Tier 1+2: metadata and decode checks
+# ---------------------------------------------------------------------------
+
+
+def _func_symbols(binary):
+    return sorted((s for s in binary.symbols
+                   if s.type == SymbolType.FUNC and s.size > 0),
+                  key=lambda s: (s.value, s.size))
+
+
+def _lint_metadata(binary, report):
+    if binary.entry:
+        section = binary.section_at(binary.entry)
+        if section is None or not section.is_exec:
+            report.add(Finding(
+                "BL101",
+                f"entry point {binary.entry:#x} is not in an "
+                f"executable section",
+                address=binary.entry))
+
+    syms = _func_symbols(binary)
+
+    # Overlaps (exact aliases — ICF folding — are fine).
+    for prev, cur in zip(syms, syms[1:]):
+        if prev.value == cur.value and prev.size == cur.size:
+            continue
+        if prev.value + prev.size > cur.value:
+            report.add(Finding(
+                "BL104",
+                f"overlaps {cur.link_name()} "
+                f"([{prev.value:#x}, {prev.value + prev.size:#x}) vs "
+                f"[{cur.value:#x}, {cur.value + cur.size:#x}))",
+                function=prev.link_name(), address=prev.value))
+
+    # Bounds + decode, per function symbol.
+    seen_ranges = set()
+    for sym in syms:
+        name = sym.link_name()
+        section = binary.section_at(sym.value)
+        if section is None or not section.is_exec:
+            report.add(Finding(
+                "BL103",
+                f"starts at {sym.value:#x}, outside every executable "
+                f"section (truncated or mislaid section?)",
+                function=name, address=sym.value))
+            continue
+        if sym.value + sym.size > section.end:
+            report.add(Finding(
+                "BL103",
+                f"[{sym.value:#x}, {sym.value + sym.size:#x}) runs "
+                f"past the end of {section.name} ({section.end:#x})",
+                function=name, address=sym.value))
+            continue
+        span = (sym.value, sym.size)
+        if span in seen_ranges:
+            continue  # exact alias: lint the bytes once
+        seen_ranges.add(span)
+        _lint_body(section, sym, name, report)
+
+    # Dangling relocations.
+    known = {s.link_name() for s in binary.symbols}
+    known.update(_KNOWN_EXTERNAL)
+    try:
+        from repro.linker import BUILTINS
+        known.update(BUILTINS)
+    except ImportError:  # pragma: no cover - linker always present
+        pass
+    for reloc in binary.relocations:
+        if reloc.symbol in known:
+            continue
+        report.add(Finding(
+            "BL106",
+            f"relocation at {reloc.section}+{reloc.offset:#x} names "
+            f"undefined symbol {reloc.symbol!r}",
+            function=_owner_of(binary, reloc)))
+
+
+def _owner_of(binary, reloc):
+    section = binary.get_section(reloc.section)
+    if section is None or not section.is_exec:
+        return None
+    address = section.addr + reloc.offset
+    for sym in _func_symbols(binary):
+        if sym.value <= address < sym.value + sym.size:
+            return sym.link_name()
+    return None
+
+
+def _lint_body(section, sym, name, report):
+    """Decode one function body; BL102 vs BL105 classification."""
+    start = sym.value - section.addr
+    end = start + sym.size
+    offset = start
+    last = None
+    while offset < end:
+        try:
+            insn = decode(section.data, offset,
+                          sym.value + (offset - start))
+        except DecodeError as exc:
+            report.add(Finding(
+                "BL102", f"body does not decode: {exc}",
+                function=name, address=sym.value + (offset - start)))
+            return
+        if offset + insn.size > end:
+            report.add(Finding(
+                "BL105",
+                f"instruction at {insn.address:#x} straddles the "
+                f"symbol's end ({sym.value + sym.size:#x}): symbol "
+                f"size {sym.size} cuts the body mid-instruction",
+                function=name, address=insn.address))
+            return
+        if not insn.is_nop:
+            last = insn
+        offset += insn.size
+    if last is None or not last.is_terminator:
+        what = last.mnemonic() if last is not None else "padding"
+        report.add(Finding(
+            "BL105",
+            f"body ends in {what} instead of a terminator: control "
+            f"falls off the symbol's end (wrong symbol size?)",
+            function=name, address=sym.value + sym.size))
+
+
+# ---------------------------------------------------------------------------
+# Tier 3: CFG reconstruction + IR checkers
+# ---------------------------------------------------------------------------
+
+
+def _lint_functions(binary, options, report):
+    from repro.core.binary_context import BinaryContext
+    from repro.core.cfg_builder import build_all_functions
+    from repro.core.discovery import discover_functions
+    from repro.core.options import BoltOptions
+
+    opts = (options or BoltOptions()).copy(
+        strict=False, verify_cfg=False, validate_output="none",
+        lint="none")
+    try:
+        context = BinaryContext(binary, opts)
+        discover_functions(context)
+        build_all_functions(context)
+    except Exception as exc:
+        report.add(Finding(
+            "BL102",
+            f"CFG reconstruction failed: {type(exc).__name__}: {exc}"))
+        return
+    for func in context.simple_functions():
+        report.extend(check_function(func))
+
+
+# ---------------------------------------------------------------------------
+# The rewriter's post-pass lint gate
+# ---------------------------------------------------------------------------
+
+
+def lint_context(context, suppress=()):
+    """Run the IR checkers over every simple function in a context.
+
+    Returns {function name: [Findings]} for functions with findings.
+    Used by the rewriter's post-pass gate (``BoltOptions.lint``), where
+    a function whose invariants a pass broke is demoted to raw rather
+    than emitted.
+    """
+    suppressions = parse_suppressions(suppress)
+    by_function = {}
+    for func in context.simple_functions():
+        report = LintReport(suppressions=suppressions)
+        report.extend(check_function(func))
+        if len(report):
+            by_function[func.name] = list(report)
+    return by_function

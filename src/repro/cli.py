@@ -4,6 +4,7 @@
     python -m repro.cli run    app.belf
     python -m repro.cli profile app.belf -o app.fdata [--no-lbr]
     python -m repro.cli bolt   app.belf -p app.fdata -o app.bolt.belf
+    python -m repro.cli lint   app.belf          # static lint (BL rules)
     python -m repro.cli stat   app.belf          # perf-stat analog
     python -m repro.cli dump   app.belf -f main  # Figure 4-style dump
 
@@ -92,6 +93,8 @@ def cmd_bolt(args):
         strict=args.strict,
         verify_cfg=args.verify_cfg,
         validate_output=args.validate,
+        lint="none" if args.no_lint else "post",
+        lint_suppress=tuple(args.suppress or ()),
     )
     result = optimize_binary(exe, profile, options)
     pathlib.Path(args.output).write_bytes(write_binary(result.binary))
@@ -115,6 +118,25 @@ def cmd_bolt(args):
             interesting = {k: v for k, v in stats.items() if v}
             if interesting:
                 print(f"  pass {name}: {interesting}")
+
+
+def cmd_lint(args):
+    """Static lint of a binary; exits non-zero on any BOLT-ERROR finding."""
+    from repro.analysis import lint_binary
+
+    exe = read_binary(pathlib.Path(args.binary).read_bytes())
+    report = lint_binary(exe, suppress=args.suppress or ())
+    if args.json:
+        print(report.to_json())
+    else:
+        for line in report.render_lines():
+            print(line)
+        suppressed = (f", {report.suppressed} suppressed"
+                      if report.suppressed else "")
+        print(f"BOLT-INFO: lint: {len(exe.functions())} function "
+              f"symbol(s), {len(report.errors)} error(s), "
+              f"{len(report.warnings)} warning(s){suppressed}")
+    return 1 if report.errors else 0
 
 
 def cmd_stat(args):
@@ -222,11 +244,28 @@ def make_parser():
     p.add_argument("--verify-cfg", action="store_true",
                    help="validate CFG invariants between passes")
     p.add_argument("--validate", default="structural",
-                   choices=["none", "structural", "execute"],
-                   help="post-rewrite validation gate level")
+                   choices=["none", "structural", "static", "execute"],
+                   help="post-rewrite validation gate level (static adds "
+                        "whole-binary lint + translation validation)")
+    p.add_argument("--no-lint", action="store_true",
+                   help="disable the post-pass lint gate")
+    p.add_argument("--suppress", action="append", default=[],
+                   metavar="RULE",
+                   help="suppress a lint rule (BL003 or func:BL001); "
+                        "repeatable")
     p.set_defaults(func=cmd_bolt, strict=False)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print a BOLT-INFO summary of the rewrite")
+
+    p = sub.add_parser("lint", help="static binary lint (BL rule IDs)")
+    p.add_argument("binary")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON report")
+    p.add_argument("--suppress", action="append", default=[],
+                   metavar="RULE",
+                   help="suppress a lint rule (BL003 or func:BL001); "
+                        "repeatable")
+    p.set_defaults(func=cmd_lint)
 
     p = sub.add_parser("stat", help="perf-stat analog")
     p.add_argument("binary")

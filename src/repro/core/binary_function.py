@@ -103,6 +103,7 @@ class BinaryFunction:
         self.folded_into = None
         self.is_cold_fragment = False
         self.parent = None              # for split fragments
+        self.analysis_facts = {}        # pass name -> facts for lint checkers
 
     # -- CFG helpers --------------------------------------------------------
 

@@ -182,6 +182,7 @@ def demote_to_raw(context, func, reason):
     func.mark_non_simple(reason)
     func.jump_tables = []
     func.is_cold_fragment = False
+    func.analysis_facts = {}
     record = context.binary.frame_records.get(func.name)
     func.frame_record = record.copy() if record is not None else None
     func.blocks = {}

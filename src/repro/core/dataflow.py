@@ -16,8 +16,41 @@ from repro.isa.registers import ARG_REGS, CALLER_SAVED
 FLAGS = 16
 
 
+class UnmodeledOpcodeError(Exception):
+    """An opcode has no entry in the use/def table.
+
+    Raised instead of silently returning empty sets: a dataflow client
+    treating an unmodeled instruction as a no-op would corrupt
+    liveness/preservation results without a trace.  Every :class:`Op`
+    is audited below; this fires only for opcodes added to the ISA but
+    not to this table (or non-``Op`` garbage).
+    """
+
+    def __init__(self, op):
+        name = getattr(op, "name", None) or repr(op)
+        super().__init__(
+            f"no use/def model for opcode {name}; add it to "
+            f"insn_uses_defs before running dataflow analyses over it")
+        self.op = op
+
+
+#: Opcodes with no register effects at the dataflow level.  Direct
+#: jumps and ``jmp`` through an absolute memory slot transfer control
+#: without reading or writing general registers; nops/halt/trap do
+#: nothing.  (``PREFIX_0F`` is an encoding artifact, never an opcode a
+#: decoded instruction carries — it is deliberately *not* modeled.)
+_NO_REG_EFFECT = frozenset({
+    Op.NOP, Op.NOPN, Op.HALT, Op.TRAP,
+    Op.JMP_SHORT, Op.JMP_NEAR, Op.JMP_MEM,
+})
+
+
 def insn_uses_defs(insn):
-    """(uses, defs) register sets for one instruction."""
+    """(uses, defs) register sets for one instruction.
+
+    Covers every :class:`Op`; raises :class:`UnmodeledOpcodeError` for
+    anything else rather than silently under-approximating.
+    """
     op = insn.op
     r = insn.regs
     if op == Op.MOV_RR:
@@ -67,8 +100,9 @@ def insn_uses_defs(insn):
         return {r[0]}, set()
     if op in (Op.RET, Op.REPZ_RET):
         return {RAX, RSP}, {RSP}
-    # jmp / nop / halt / trap / jmp_mem
-    return set(), set()
+    if op in _NO_REG_EFFECT:
+        return set(), set()
+    raise UnmodeledOpcodeError(op)
 
 
 def block_uses_defs(block):

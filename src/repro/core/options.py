@@ -42,9 +42,11 @@ class BoltOptions:
         cold_section_name=".text.cold",
         strict=False,                   # warnings become hard failures
         verify_cfg=False,               # inter-pass CFG validation
-        validate_output="structural",   # none | structural | execute
+        validate_output="structural",   # none | structural | static | execute
         validate_inputs=None,           # smoke inputs for "execute"
         validate_max_instructions=5_000_000,
+        lint="post",                    # none | post (post-pass lint gate)
+        lint_suppress=(),               # ("BL003", "crc32:BL001", ...)
         stale_matching=True,            # fuzzy-match stale profiles
         stale_min_quality=0.0,          # below: drop the profile entirely
     ):
@@ -82,6 +84,8 @@ class BoltOptions:
         self.validate_output = validate_output
         self.validate_inputs = validate_inputs
         self.validate_max_instructions = validate_max_instructions
+        self.lint = lint
+        self.lint_suppress = lint_suppress
         self.stale_matching = stale_matching
         self.stale_min_quality = stale_min_quality
 

@@ -26,6 +26,10 @@ class FrameOptimization(BinaryPass):
                 if disp not in loads and disp not in protected and disp < 0}
         if not dead:
             return {}
+        # Fact for the lint checkers: BL002 verifies none of these is a
+        # callee-saved save slot the unwinder still needs.
+        func.analysis_facts.setdefault(
+            "frame-opts-removed", []).extend(sorted(dead))
         removed = 0
         for block in func.blocks.values():
             kept = []

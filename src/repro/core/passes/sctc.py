@@ -46,6 +46,8 @@ class SimplifyConditionalTailCalls(BinaryPass):
                     insn.label = None
                     self._copy_tail_target(insn, target_jmp)
                     block.remove_successor(old_label)
+                    func.analysis_facts.setdefault("sctc", []).append(
+                        block.label)
                     simplified += 1
                 elif (insn is block.insns[-1]
                       and block.fallthrough_label in tail_blocks
@@ -62,6 +64,8 @@ class SimplifyConditionalTailCalls(BinaryPass):
                     self._copy_tail_target(insn, target_jmp)
                     block.remove_successor(ft)
                     block.fallthrough_label = old_label
+                    func.analysis_facts.setdefault("sctc", []).append(
+                        block.label)
                     simplified += 1
         return {"simplified": simplified}
 

@@ -69,6 +69,8 @@ class ShrinkWrapping(BinaryPass):
                     func.blocks[label].insns.remove(insn)
                 record.saved_regs = [sr for sr in record.saved_regs
                                      if sr[0] != reg]
+                func.analysis_facts.setdefault(
+                    "shrink-wrap-removed", []).append(reg)
                 removed += 1
                 continue
             candidates = [
@@ -100,5 +102,8 @@ class ShrinkWrapping(BinaryPass):
             for label, insn in restore_insns[reg]:
                 if best not in dom[label]:
                     func.blocks[label].insns.remove(insn)
+            # Fact for the lint checkers: the save now lives in `best`;
+            # BL002 cross-checks the store is really there.
+            func.analysis_facts.setdefault("shrink-wrap", {})[reg] = best
             moved += 1
         return {"moved-saves": moved, "removed-dead-saves": removed}

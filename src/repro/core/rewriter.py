@@ -53,6 +53,7 @@ class RewriteResult:
         self.hot_text_size = 0
         self.cold_text_size = 0
         self.degraded = None    # None | "in-place" | "passthrough"
+        self.fragments = None   # name -> emitted Fragment (set by _rewrite)
 
     @property
     def diagnostics(self):
@@ -119,6 +120,27 @@ def optimize_binary(binary, profile=None, options=None):
     In ``options.strict`` mode every contained event raises instead.
     """
     options = options or BoltOptions()
+
+    # The static tier certifies the rewrite against the *input*'s
+    # facts, so a corrupt input (garbage bodies, lying symbol sizes,
+    # dangling relocations) is rejected before any rewrite attempt —
+    # some corruptions would otherwise crash discovery mid-attempt and
+    # lose the precise rule-ID diagnosis.
+    if options.validate_output in ("static", "execute"):
+        input_problems = _input_lint_problems(binary, options)
+        if input_problems:
+            if options.strict:
+                raise RewriteError("input fails static lint: "
+                                   + "; ".join(input_problems[:5]))
+            result = _passthrough_result(binary, profile, options)
+            for problem in input_problems[:10]:
+                result.diagnostics.error(
+                    "validate", f"input fails static lint: {problem}")
+            result.diagnostics.warning(
+                "validate", "input fails static lint; returning the "
+                "original binary unchanged")
+            return result
+
     if options.strict:
         result = _optimize_once(binary, profile, options)
         problems = _gate_problems(binary, result, options)
@@ -178,6 +200,8 @@ def _optimize_once(binary, profile, options):
     dyno_before = compute_dyno_stats(context) if options.dyno_stats else None
     manager = build_pipeline(options)
     pass_stats = manager.run(context)
+    if getattr(options, "lint", "none") not in (None, "none", False):
+        _lint_gate(context)
     dyno_after = compute_dyno_stats(context) if options.dyno_stats else None
 
     result = RewriteResult(None, context, pass_stats, dyno_before, dyno_after)
@@ -185,16 +209,97 @@ def _optimize_once(binary, profile, options):
     return result
 
 
+def _lint_gate(context):
+    """Post-pass lint: contain functions whose invariants a pass broke.
+
+    Runs the :mod:`repro.analysis` IR checkers over every still-simple
+    function after the pipeline; a function with an ERROR-severity
+    finding is demoted to raw (original bytes emitted verbatim) via the
+    same containment machinery per-function pass failures use.
+    """
+    from repro.analysis.binlint import lint_context
+    from repro.core.cfg_builder import demote_to_raw
+
+    by_function = lint_context(
+        context, suppress=getattr(context.options, "lint_suppress", ()))
+    for name, findings in by_function.items():
+        errors = [f for f in findings if f.severity >= Severity.ERROR]
+        for finding in findings:
+            if finding not in errors:
+                context.diagnostics.note(
+                    f"lint:{finding.rule}", finding.message, function=name)
+        if not errors:
+            continue
+        first = errors[0]
+        context.diagnostics.warning(
+            f"lint:{first.rule}",
+            f"post-pass lint found {len(errors)} error(s) "
+            f"({', '.join(sorted({f.rule for f in errors}))}): "
+            f"{first.message}; function demoted to non-simple",
+            function=name)
+        demote_to_raw(context, context.functions[name],
+                      f"lint {first.rule} after passes")
+
+
 def _gate_problems(binary, result, options):
-    """Run the post-rewrite validation gate; returns problem strings."""
+    """Run the post-rewrite validation gate; returns problem strings.
+
+    Tiers (each level includes the previous ones):
+
+    * ``structural`` — well-formedness of the emitted binary.
+    * ``static`` — whole-binary lint of the input and output plus
+      translation validation of every emitted function against its
+      optimized IR (rule IDs ``BL1xx``/``BL2xx``/``BL0xx``).
+    * ``execute`` — a smoke run comparing program output.
+    """
     level = options.validate_output
     if level in (None, "none"):
         return []
     problems = validate_rewrite(result.context, result.binary)
+    if not problems and level in ("static", "execute"):
+        problems = _static_problems(binary, result, options)
     if not problems and level == "execute":
         problems = validate_execution(
             binary, result.binary, inputs=options.validate_inputs,
             max_instructions=options.validate_max_instructions)
+    return problems
+
+
+def _render_finding(finding):
+    where = f" [{finding.function}]" if finding.function else ""
+    return f"{finding.rule}{where}: {finding.message}"
+
+
+def _input_lint_problems(binary, options):
+    """Static lint of the input binary (the static tier's first leg)."""
+    from repro.analysis import lint_binary
+
+    report = lint_binary(binary, options=options,
+                         suppress=getattr(options, "lint_suppress", ()))
+    return [_render_finding(f) for f in report.errors]
+
+
+def _static_problems(binary, result, options):
+    """The static-equivalence tier of the validation gate.
+
+    Input trustworthiness is checked once, up front, in
+    :func:`optimize_binary`; here the emitted candidate is linted and
+    matched against the optimized IR.
+    """
+    from repro.analysis import lint_binary, validate_translation
+
+    suppress = getattr(options, "lint_suppress", ())
+    render = _render_finding
+
+    problems = [f"output fails static lint: {render(f)}"
+                for f in lint_binary(result.binary, options=options,
+                                     suppress=suppress).errors]
+    problems += [
+        f"translation validation: {render(f)}"
+        for f in validate_translation(
+            result.context, result.binary, result.fragments,
+            skip=set(result.reverted))
+    ]
     return problems
 
 
@@ -422,6 +527,7 @@ def _rewrite(context, result):
     result.hot_text_size = sum(
         f.size for f in fragments.values() if not f.is_cold)
     result.cold_text_size = cold_size
+    result.fragments = fragments
     return out
 
 

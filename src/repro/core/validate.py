@@ -56,10 +56,13 @@ def validate_function(func):
             problems.append(
                 f"{label}: fall-through {block.fallthrough_label} "
                 f"not among successors {block.successors}")
-        for succ in block.edge_counts:
+        for succ, count in block.edge_counts.items():
             if succ not in block.successors:
                 problems.append(
                     f"{label}: edge count for non-successor {succ}")
+            if count < 0:
+                problems.append(
+                    f"{label}: negative edge count {count} -> {succ}")
 
         for index, insn in enumerate(block.insns):
             last = index == len(block.insns) - 1
@@ -90,6 +93,20 @@ def validate_function(func):
             if (term.op in (Op.JMP_SHORT, Op.JMP_NEAR)
                     and term.label is None and term.sym is None):
                 problems.append(f"{label}: jump with no target")
+
+    # Landing-pad blocks must be reachable: an unwind target nothing
+    # can unwind to is dead weight at best and a splitting bug at worst.
+    # Only checked once the graph is structurally sound (every edge
+    # resolves), so the traversal cannot trip over a bogus successor.
+    if not problems and func.entry_label in labels:
+        from repro.core.dataflow import reachable_from
+
+        reachable = reachable_from(func, func.entry_label)
+        for label, block in func.blocks.items():
+            if block.is_landing_pad and label not in reachable:
+                problems.append(
+                    f"{label}: landing-pad block unreachable (no call "
+                    f"site registers it and no edge reaches it)")
 
     if problems:
         raise ValidationError(

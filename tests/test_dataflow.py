@@ -170,3 +170,77 @@ def test_prop_liveness_converges(ops):
             block.insns.append(Instruction(op, (1, 2)))
     live_in, live_out = liveness(func)
     assert set(live_in) == {"e"}
+
+
+def test_dominators_irreducible_loop():
+    # e -> a, e -> b, a <-> b: neither cycle node dominates the other.
+    func = BinaryFunction("d", 0, 10)
+    for label in ("e", "a", "b"):
+        func.add_block(BinaryBasicBlock(label))
+    func.blocks["e"].set_edge("a")
+    func.blocks["e"].set_edge("b")
+    func.blocks["a"].set_edge("b")
+    func.blocks["b"].set_edge("a")
+    dom = dominators(func)
+    assert dom["a"] == {"e", "a"}
+    assert dom["b"] == {"e", "b"}
+
+
+def test_dominators_single_block():
+    func = BinaryFunction("d", 0, 10)
+    func.add_block(BinaryBasicBlock("e"))
+    assert dominators(func) == {"e": {"e"}}
+
+
+def test_liveness_irreducible_loop():
+    # The use of rbx in block b must be live around the whole cycle.
+    func = BinaryFunction("d", 0, 10)
+    for label in ("e", "a", "b"):
+        func.add_block(BinaryBasicBlock(label))
+    func.blocks["e"].set_edge("a")
+    func.blocks["e"].set_edge("b")
+    func.blocks["a"].set_edge("b")
+    func.blocks["b"].set_edge("a")
+    func.blocks["b"].insns = [Instruction(Op.MOV_RR, (RCX, RBX))]
+    live_in, live_out = liveness(func)
+    assert RBX in live_in["e"]
+    assert RBX in live_in["a"] and RBX in live_out["a"]
+
+
+def test_liveness_single_block():
+    func = BinaryFunction("d", 0, 10)
+    block = func.add_block(BinaryBasicBlock("e"))
+    block.insns = [Instruction(Op.MOV_RR, (RAX, RBX)),
+                   Instruction(Op.RET)]
+    live_in, live_out = liveness(func)
+    assert RBX in live_in["e"]
+    assert RAX in live_out["e"]  # the return value is live at exit
+
+
+def test_unmodeled_opcode_raises_diagnostic():
+    import pytest
+
+    from repro.core.dataflow import UnmodeledOpcodeError
+
+    insn = Instruction(Op.NOP)
+    insn.op = "not-an-opcode"
+    with pytest.raises(UnmodeledOpcodeError) as exc:
+        insn_uses_defs(insn)
+    assert "no use/def model" in str(exc.value)
+    assert "insn_uses_defs" in str(exc.value)
+
+
+def test_every_opcode_is_modeled():
+    """The full Op enum must have a use/def model (or a deliberate
+    no-effect entry) so no analysis can hit UnmodeledOpcodeError on
+    real code."""
+    from repro.isa.opcodes import OPERAND_FORMATS
+
+    for op in Op:
+        if op == Op.PREFIX_0F:
+            continue  # encoding artifact, never carried by decoded insns
+        nregs = len(OPERAND_FORMATS.get(op, ""))
+        insn = Instruction(Op.NOP)
+        insn.op = op
+        insn.regs = tuple(range(nregs))
+        insn_uses_defs(insn)  # must not raise
