@@ -33,22 +33,29 @@ class LineTable:
     def __init__(self, entries=()):
         self.entries = list(entries)
         self._sorted = False
+        self._keys = None               # cached [entry.addr], sorted
 
     def add(self, addr, file, line):
         self.entries.append(LineEntry(addr, file, line))
         self._sorted = False
+        self._keys = None
 
     def _ensure_sorted(self):
         if not self._sorted:
             self.entries.sort(key=lambda e: e.addr)
             self._sorted = True
+            self._keys = None
 
     def lookup(self, addr):
         """Source location covering ``addr``: (file, line) or None."""
         self._ensure_sorted()
         if not self.entries:
             return None
-        keys = [e.addr for e in self.entries]
+        # The bisect key list is cached across lookups; rebuilding it on
+        # every query made profile attribution quadratic in table size.
+        keys = self._keys
+        if keys is None:
+            keys = self._keys = [e.addr for e in self.entries]
         idx = bisect.bisect_right(keys, addr) - 1
         if idx < 0:
             return None

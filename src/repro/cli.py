@@ -95,11 +95,21 @@ def cmd_bolt(args):
         validate_output=args.validate,
         lint="none" if args.no_lint else "post",
         lint_suppress=tuple(args.suppress or ()),
+        time_opts=args.time_opts,
+        time_rewrite=args.time_rewrite,
+        threads=args.threads,
     )
     result = optimize_binary(exe, profile, options)
     pathlib.Path(args.output).write_bytes(write_binary(result.binary))
     print(f"wrote {args.output}: hot text {result.hot_text_size}B "
           f"(+{result.cold_text_size}B cold), was {exe.text_size()}B")
+    if result.timing:
+        from repro.core.reports import format_timing_table
+        print(format_timing_table(result.timing))
+        if args.time_report:
+            pathlib.Path(args.time_report).write_text(
+                result.timing.to_json() + "\n")
+            print(f"wrote {args.time_report}")
     for line in result.diagnostics.render(Severity.WARNING):
         print(line, file=sys.stderr)
     if result.degraded:
@@ -253,6 +263,16 @@ def make_parser():
                    metavar="RULE",
                    help="suppress a lint rule (BL003 or func:BL001); "
                         "repeatable")
+    p.add_argument("--time-opts", action="store_true",
+                   help="print per-pass wall time (llvm-bolt -time-opts)")
+    p.add_argument("--time-rewrite", action="store_true",
+                   help="print per-phase rewrite wall time "
+                        "(llvm-bolt -time-rewrite)")
+    p.add_argument("--time-report", metavar="FILE",
+                   help="also write the timing report as JSON to FILE")
+    p.add_argument("--threads", type=int, default=1, metavar="N",
+                   help="run per-function passes on N threads "
+                        "(output is byte-identical to serial)")
     p.set_defaults(func=cmd_bolt, strict=False)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print a BOLT-INFO summary of the rewrite")

@@ -1,0 +1,263 @@
+"""Pre-PR reference implementations of the hot ordering kernels.
+
+These are byte-for-byte the algorithms the pipeline shipped with before
+the performance layer landed: the quadratic ``callers_of`` arc scan
+behind HFSort, the cubic ``arc_weight`` rescans of HFSort+, the
+full-edge-set ``cross_weight``/``chain_score`` recomputation inside
+ext-TSP's O(chains^2) merge loop, the ``copy.deepcopy``-based
+per-function snapshot, and the rebuild-the-key-list-per-query line
+table lookup.
+
+They are kept for two reasons:
+
+* **Equivalence oracle** — the rewritten fast kernels must produce
+  *identical* orders; ``tests/test_hfsort.py`` checks them against
+  these on randomized graphs (hypothesis).
+* **Benchmark baseline** — ``benchmarks/test_processing_time.py``
+  measures the fast kernels (and the end-to-end pipeline) against
+  these to produce the ``BENCH_pr3.json`` trajectory, reproducing the
+  paper's processing-time claims (section 6.6).
+
+Nothing in the pipeline itself may import this module.
+"""
+
+import copy
+
+from repro.core.hfsort import _Cluster
+
+# ext-TSP distance weights (must mirror layout_algos).
+_FALLTHROUGH_WEIGHT = 1.0
+_FORWARD_WEIGHT = 0.1
+_BACKWARD_WEIGHT = 0.1
+_FORWARD_DISTANCE = 1024
+_BACKWARD_DISTANCE = 640
+
+
+# ---------------------------------------------------------------------------
+# HFSort / HFSort+ (pre-PR: per-query arc scans)
+# ---------------------------------------------------------------------------
+
+
+def callers_of_reference(graph, callee):
+    """O(arcs) scan per query — made ``hfsort`` quadratic overall."""
+    return {a: w for (a, b), w in graph.arcs.items() if b == callee}
+
+
+def hfsort_reference(graph, merge_cap=4096 * 8):
+    hot = [f for f, w in graph.weights.items() if w > 0]
+    cold = [f for f, w in graph.weights.items() if w <= 0]
+    clusters = {f: _Cluster(f, graph.sizes[f], graph.weights[f]) for f in hot}
+    cluster_of = {f: f for f in hot}
+
+    for func in sorted(hot, key=lambda f: (-graph.weights[f], f)):
+        callers = {
+            caller: weight
+            for caller, weight in callers_of_reference(graph, func).items()
+            if caller in cluster_of
+        }
+        if not callers:
+            continue
+        best_caller = max(sorted(callers), key=lambda c: callers[c])
+        src = cluster_of[func]
+        dst = cluster_of[best_caller]
+        if src == dst:
+            continue
+        if clusters[src].funcs[0] != func:
+            continue
+        if clusters[dst].size + clusters[src].size > merge_cap:
+            continue
+        clusters[dst].merge(clusters[src])
+        for moved in clusters[src].funcs:
+            cluster_of[moved] = dst
+        del clusters[src]
+
+    ordered = sorted(clusters.values(), key=lambda c: (-c.density, c.funcs[0]))
+    out = []
+    for cluster in ordered:
+        out.extend(cluster.funcs)
+    out.extend(cold)
+    return out
+
+
+def hfsort_plus_reference(graph, merge_cap=4096 * 8, page_size=4096):
+    base_order = hfsort_reference(graph, merge_cap)
+    hot = {f for f, w in graph.weights.items() if w > 0}
+    clusters = []
+    for func in base_order:
+        if func not in hot:
+            continue
+        clusters.append(_Cluster(func, graph.sizes[func], graph.weights[func]))
+
+    def arc_weight(c1, c2):
+        # O(arcs) per cluster pair per merge iteration: cubic overall.
+        s1, s2 = set(c1.funcs), set(c2.funcs)
+        total = 0
+        for (a, b), w in graph.arcs.items():
+            if (a in s1 and b in s2) or (a in s2 and b in s1):
+                total += w
+        return total
+
+    improved = True
+    while improved and len(clusters) > 1:
+        improved = False
+        best = None
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                weight = arc_weight(clusters[i], clusters[j])
+                if weight == 0:
+                    continue
+                merged_size = clusters[i].size + clusters[j].size
+                if merged_size > merge_cap * 2:
+                    continue
+                pages = max(1, (merged_size + page_size - 1) // page_size)
+                gain = weight / pages
+                if best is None or gain > best[0]:
+                    best = (gain, i, j)
+        if best is not None:
+            _, i, j = best
+            clusters[i].merge(clusters[j])
+            del clusters[j]
+            improved = True
+
+    clusters.sort(key=lambda c: (-c.density, c.funcs[0]))
+    out = []
+    for cluster in clusters:
+        out.extend(cluster.funcs)
+    out.extend(f for f in base_order if f not in hot)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# ext-TSP block layout (pre-PR: full edge-set rescans per candidate)
+# ---------------------------------------------------------------------------
+
+
+def order_blocks_reference(func, algorithm, hot_threshold=1):
+    """Pre-PR ``order_blocks`` for the scoring algorithms (cache/cache+)."""
+    from repro.core.layout_algos import _pettis_hansen
+
+    labels = list(func.blocks)
+    if algorithm == "none" or len(labels) <= 2:
+        return labels
+    if algorithm == "reverse":
+        return [labels[0]] + list(reversed(labels[1:]))
+
+    hot = [l for l in labels
+           if func.blocks[l].exec_count >= hot_threshold
+           or l == func.entry_label]
+    cold = [l for l in labels if l not in set(hot)]
+    if algorithm == "cache":
+        ordered_hot = _pettis_hansen(func, hot)
+    elif algorithm == "cache+":
+        ordered_hot = ext_tsp_reference(func, hot)
+    else:
+        raise ValueError(f"unknown block layout algorithm {algorithm!r}")
+    return ordered_hot + cold
+
+
+def ext_tsp_reference(func, labels):
+    allowed = set(labels)
+    sizes = {l: max(1, func.blocks[l].size) for l in labels}
+    edges = {}
+    for label in labels:
+        block = func.blocks[label]
+        for succ, count in block.edge_counts.items():
+            if succ in allowed and count > 0:
+                edges[(label, succ)] = edges.get((label, succ), 0) + count
+
+    chains = {i: [l] for i, l in enumerate(labels)}
+    chain_of = {l: i for i, l in enumerate(labels)}
+    entry_chain = chain_of[func.entry_label]
+
+    def chain_score(seq):
+        # Scans every edge of the function per call.
+        pos = {}
+        offset = 0
+        for label in seq:
+            pos[label] = offset
+            offset += sizes[label]
+        score = 0.0
+        for (src, dst), count in edges.items():
+            if src not in pos or dst not in pos:
+                continue
+            src_end = pos[src] + sizes[src]
+            dist = pos[dst] - src_end
+            if dist == 0:
+                score += count * _FALLTHROUGH_WEIGHT
+            elif 0 < dist <= _FORWARD_DISTANCE:
+                score += count * _FORWARD_WEIGHT * (1 - dist / _FORWARD_DISTANCE)
+            elif -_BACKWARD_DISTANCE <= dist < 0:
+                score += count * _BACKWARD_WEIGHT * (1 + dist / _BACKWARD_DISTANCE)
+        return score
+
+    current_scores = {cid: chain_score(seq) for cid, seq in chains.items()}
+
+    def cross_weight(a, b):
+        # Scans every edge of the function per chain pair.
+        total = 0
+        for (src, dst), count in edges.items():
+            if (chain_of[src] == a and chain_of[dst] == b) or (
+                    chain_of[src] == b and chain_of[dst] == a):
+                total += count
+        return total
+
+    while len(chains) > 1:
+        best = None
+        chain_ids = list(chains)
+        for i, a in enumerate(chain_ids):
+            for b in chain_ids[i + 1 :]:
+                if cross_weight(a, b) == 0:
+                    continue
+                candidates = [chains[a] + chains[b], chains[b] + chains[a]]
+                for seq in candidates:
+                    if entry_chain in (a, b) and seq[0] != func.entry_label:
+                        continue
+                    gain = chain_score(seq) - current_scores[a] - current_scores[b]
+                    if best is None or gain > best[0]:
+                        best = (gain, a, b, seq)
+        if best is None or best[0] <= 0:
+            break
+        _, a, b, seq = best
+        chains[a] = seq
+        current_scores[a] = chain_score(seq)
+        for label in chains[b]:
+            chain_of[label] = a
+        if b == entry_chain:
+            entry_chain = a
+        del chains[b]
+        del current_scores[b]
+
+    def weight(cid):
+        return max(func.blocks[l].exec_count for l in chains[cid])
+
+    rest = sorted((cid for cid in chains if cid != entry_chain),
+                  key=lambda cid: (-weight(cid), chains[cid][0]))
+    order = list(chains[entry_chain])
+    for cid in rest:
+        order.extend(chains[cid])
+    return order
+
+
+# ---------------------------------------------------------------------------
+# Pass-manager snapshot + line-table lookup (pre-PR)
+# ---------------------------------------------------------------------------
+
+
+def snapshot_function_deepcopy(func):
+    """Generic ``copy.deepcopy`` snapshot — dominated rewrite wall time."""
+    return copy.deepcopy(func)
+
+
+def linetable_lookup_reference(table, addr):
+    """Rebuilds the bisect key list on every query."""
+    import bisect
+
+    table._ensure_sorted()
+    if not table.entries:
+        return None
+    keys = [e.addr for e in table.entries]
+    idx = bisect.bisect_right(keys, addr) - 1
+    if idx < 0:
+        return None
+    entry = table.entries[idx]
+    return (entry.file, entry.line)

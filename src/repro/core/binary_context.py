@@ -51,6 +51,10 @@ class BinaryContext:
         # PLT map: stub address -> (symbol name, final target address)
         self.plt_map = self._index_plt()
 
+        # builtin entry points (frozen once; ``is_builtin`` used to
+        # rebuild this set on every query)
+        self._builtin_addrs = frozenset(BUILTINS.values())
+
         self.functions = {}    # link name -> BinaryFunction (filled by discovery)
 
     # -- address queries ------------------------------------------------------
@@ -112,7 +116,7 @@ class BinaryContext:
         return self.plt_map[address][1]
 
     def is_builtin(self, address):
-        return address in set(BUILTINS.values())
+        return address in self._builtin_addrs
 
     # -- function registry ------------------------------------------------------------
 

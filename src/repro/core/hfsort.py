@@ -11,7 +11,30 @@ page size).  Final clusters are sorted by density (heat per byte).
 HFSort+ refines the result with a gain-driven cluster merging phase
 that models expected page-boundary crossings, improving I-TLB behavior
 further.
+
+Complexity: ``CallGraph`` maintains a reverse-adjacency index so
+``callers_of`` is a dictionary lookup instead of an all-arcs scan, and
+``hfsort_plus`` keeps an incrementally-updated inter-cluster weight map
+instead of rescanning every arc per cluster pair per merge iteration.
+Both orderings are asserted to be permutations of the input functions
+(``tests/test_hfsort.py`` checks them against the pre-PR reference
+implementations in :mod:`repro.core._reference_kernels`).
 """
+
+
+class OrderingError(AssertionError):
+    """An ordering kernel produced something other than a permutation."""
+
+
+def _check_permutation(kernel, out, expected):
+    if len(out) != len(expected) or set(out) != set(expected):
+        missing = sorted(set(expected) - set(out))[:5]
+        extra = sorted(set(out) - set(expected))[:5]
+        raise OrderingError(
+            f"{kernel} output is not a permutation of the input: "
+            f"{len(out)}/{len(expected)} functions"
+            + (f", missing {missing}" if missing else "")
+            + (f", extra {extra}" if extra else ""))
 
 
 class CallGraph:
@@ -21,6 +44,7 @@ class CallGraph:
         self.weights = {}    # func -> sample weight (hotness)
         self.sizes = {}      # func -> code size in bytes
         self.arcs = {}       # (caller, callee) -> weight
+        self._callers = {}   # callee -> {caller: weight} (reverse adjacency)
 
     def add_function(self, name, weight, size):
         self.weights[name] = self.weights.get(name, 0) + weight
@@ -31,9 +55,12 @@ class CallGraph:
             return
         key = (caller, callee)
         self.arcs[key] = self.arcs.get(key, 0) + weight
+        callers = self._callers.setdefault(callee, {})
+        callers[caller] = callers.get(caller, 0) + weight
 
     def callers_of(self, callee):
-        return {a: w for (a, b), w in self.arcs.items() if b == callee}
+        """Callers of ``callee`` with arc weights — O(in-degree)."""
+        return dict(self._callers.get(callee, ()))
 
     @classmethod
     def from_profile(cls, context, profile):
@@ -119,6 +146,7 @@ def hfsort(graph, merge_cap=4096 * 8):
     for cluster in ordered:
         out.extend(cluster.funcs)
     out.extend(cold)
+    _check_permutation("hfsort", out, graph.weights)
     return out
 
 
@@ -128,34 +156,51 @@ def hfsort_plus(graph, merge_cap=4096 * 8, page_size=4096):
     After the C3 phase, clusters are greedily merged when doing so
     reduces the expected number of page crossings along hot arcs:
     gain = (arc weight between clusters) / (pages spanned by merge).
+
+    The inter-cluster arc weights are computed once from the arc list
+    and folded together as clusters merge, so each merge iteration
+    costs O(live cluster pairs) dictionary lookups instead of
+    O(pairs x arcs) rescans.
     """
     base_order = hfsort(graph, merge_cap)
     # Rebuild cluster list from the hfsort result (hot clusters only).
     hot = {f for f, w in graph.weights.items() if w > 0}
-    clusters = []
+    clusters = {}       # stable id -> _Cluster
+    cluster_of = {}     # func -> stable id
+    order = []          # stable ids in list position order (= old list)
     for func in base_order:
         if func not in hot:
             continue
-        clusters.append(_Cluster(func, graph.sizes[func], graph.weights[func]))
+        cid = len(order)
+        clusters[cid] = _Cluster(func, graph.sizes[func], graph.weights[func])
+        cluster_of[func] = cid
+        order.append(cid)
 
-    def arc_weight(c1, c2):
-        s1, s2 = set(c1.funcs), set(c2.funcs)
-        total = 0
-        for (a, b), w in graph.arcs.items():
-            if (a in s1 and b in s2) or (a in s2 and b in s1):
-                total += w
-        return total
+    # Inter-cluster weights, both directions folded: {a: {b: weight}}.
+    inter = {cid: {} for cid in order}
+    for (a, b), w in graph.arcs.items():
+        ca, cb = cluster_of.get(a), cluster_of.get(b)
+        if ca is None or cb is None or ca == cb:
+            continue
+        inter[ca][cb] = inter[ca].get(cb, 0) + w
+        inter[cb][ca] = inter[cb].get(ca, 0) + w
 
     improved = True
-    while improved and len(clusters) > 1:
+    while improved and len(order) > 1:
         improved = False
         best = None
-        for i in range(len(clusters)):
-            for j in range(i + 1, len(clusters)):
-                weight = arc_weight(clusters[i], clusters[j])
+        # Pair enumeration in list-position order, exactly like the
+        # reference's nested index loops — only the weight lookup is O(1).
+        for i in range(len(order)):
+            a = order[i]
+            neighbors = inter[a]
+            ca = clusters[a]
+            for j in range(i + 1, len(order)):
+                b = order[j]
+                weight = neighbors.get(b, 0)
                 if weight == 0:
                     continue
-                merged_size = clusters[i].size + clusters[j].size
+                merged_size = ca.size + clusters[b].size
                 if merged_size > merge_cap * 2:
                     continue
                 pages = max(1, (merged_size + page_size - 1) // page_size)
@@ -164,13 +209,25 @@ def hfsort_plus(graph, merge_cap=4096 * 8, page_size=4096):
                     best = (gain, i, j)
         if best is not None:
             _, i, j = best
-            clusters[i].merge(clusters[j])
-            del clusters[j]
+            a, b = order[i], order[j]
+            clusters[a].merge(clusters[b])
+            del clusters[b]
+            order.pop(j)
+            # Fold b's adjacency into a's; the (a, b) pair goes away.
+            for n, w in inter.pop(b).items():
+                if n == a:
+                    continue
+                inter[a][n] = inter[a].get(n, 0) + w
+                nbrs = inter[n]
+                nbrs.pop(b, None)
+                nbrs[a] = nbrs.get(a, 0) + w
+            inter[a].pop(b, None)
             improved = True
 
-    clusters.sort(key=lambda c: (-c.density, c.funcs[0]))
+    final = sorted(clusters.values(), key=lambda c: (-c.density, c.funcs[0]))
     out = []
-    for cluster in clusters:
+    for cluster in final:
         out.extend(cluster.funcs)
     out.extend(f for f in base_order if f not in hot)
+    _check_permutation("hfsort+", out, graph.weights)
     return out

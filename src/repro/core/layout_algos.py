@@ -11,6 +11,15 @@ modes used in the paper's evaluation:
 
 Both operate on the hot sub-CFG; cold blocks keep their relative order
 and are appended at the end (to be split off by ``split-functions``).
+
+The ext-TSP merge loop keeps per-chain edge lists and an incrementally
+maintained inter-chain weight map, so candidate scoring touches only
+the two chains' own edges instead of rescanning the whole function's
+edge set per chain pair (the pre-PR kernels did the latter; they are
+preserved in :mod:`repro.core._reference_kernels` and the fast path is
+tested to produce identical layouts).  Per-chain edge lists are kept in
+global edge-insertion order and merged like sorted runs, so the
+floating-point score accumulates in exactly the reference's order.
 """
 
 # ext-TSP-style distance weights.
@@ -31,7 +40,8 @@ def order_blocks(func, algorithm, hot_threshold=1):
 
     hot = [l for l in labels
            if func.blocks[l].exec_count >= hot_threshold or l == func.entry_label]
-    cold = [l for l in labels if l not in set(hot)]
+    hot_set = set(hot)
+    cold = [l for l in labels if l not in hot_set]
     if algorithm == "cache":
         ordered_hot = _pettis_hansen(func, hot)
     elif algorithm == "cache+":
@@ -81,6 +91,23 @@ def _pettis_hansen(func, labels):
     return order
 
 
+def _merge_runs(left, right):
+    """Merge two ascending edge-index runs, preserving global order."""
+    out = []
+    i = j = 0
+    nl, nr = len(left), len(right)
+    while i < nl and j < nr:
+        if left[i] < right[j]:
+            out.append(left[i])
+            i += 1
+        else:
+            out.append(right[j])
+            j += 1
+    out.extend(left[i:])
+    out.extend(right[j:])
+    return out
+
+
 def _ext_tsp(func, labels):
     """Greedy chain merging maximizing the ext-TSP locality score."""
     allowed = set(labels)
@@ -91,21 +118,33 @@ def _ext_tsp(func, labels):
         for succ, count in block.edge_counts.items():
             if succ in allowed and count > 0:
                 edges[(label, succ)] = edges.get((label, succ), 0) + count
+    # Frozen edge list in dict-insertion order; per-chain lists hold
+    # indices into it so merged chains still sum scores in this order.
+    edge_list = [(src, dst, count) for (src, dst), count in edges.items()]
 
     chains = {i: [l] for i, l in enumerate(labels)}
     chain_of = {l: i for i, l in enumerate(labels)}
     entry_chain = chain_of[func.entry_label]
 
-    def chain_score(seq):
-        """Score of intra-chain edges given a concrete order."""
+    src_edges = {cid: [] for cid in chains}
+    for idx, (src, dst, count) in enumerate(edge_list):
+        src_edges[chain_of[src]].append(idx)
+
+    def chain_score(seq, edge_indices):
+        """Score of intra-chain edges given a concrete order.
+
+        ``edge_indices`` lists (in global insertion order) every edge
+        whose source lies in ``seq``; edges leaving the chain score 0.
+        """
         pos = {}
         offset = 0
         for label in seq:
             pos[label] = offset
             offset += sizes[label]
         score = 0.0
-        for (src, dst), count in edges.items():
-            if src not in pos or dst not in pos:
+        for idx in edge_indices:
+            src, dst, count = edge_list[idx]
+            if dst not in pos:
                 continue
             src_end = pos[src] + sizes[src]
             dist = pos[dst] - src_end
@@ -117,43 +156,84 @@ def _ext_tsp(func, labels):
                 score += count * _BACKWARD_WEIGHT * (1 + dist / _BACKWARD_DISTANCE)
         return score
 
-    current_scores = {cid: chain_score(seq) for cid, seq in chains.items()}
+    current_scores = {cid: chain_score(seq, src_edges[cid])
+                      for cid, seq in chains.items()}
 
-    def cross_weight(a, b):
-        """Total edge weight between two chains (any direction)."""
-        total = 0
-        for (src, dst), count in edges.items():
-            if (chain_of[src] == a and chain_of[dst] == b) or (
-                    chain_of[src] == b and chain_of[dst] == a):
-                total += count
-        return total
+    # Inter-chain weight map (both directions folded) and neighbor sets,
+    # maintained incrementally across merges.  Pair keys are (lo, hi).
+    cross = {}
+    neighbors = {cid: set() for cid in chains}
+    for src, dst, count in edge_list:
+        a, b = chain_of[src], chain_of[dst]
+        if a == b:
+            continue
+        pair = (a, b) if a < b else (b, a)
+        cross[pair] = cross.get(pair, 0) + count
+        neighbors[a].add(b)
+        neighbors[b].add(a)
+
+    # Best (gain, seq) per connected pair, dropped when either side
+    # changes.  Values are identical to recomputation, so caching does
+    # not disturb the reference's first-strict-max tie-breaking.
+    gain_cache = {}
+
+    def pair_best(a, b):
+        merged_edges = None
+        best = None
+        for seq in (chains[a] + chains[b], chains[b] + chains[a]):
+            # The entry block can never move off the front.
+            if entry_chain in (a, b) and seq[0] != func.entry_label:
+                continue
+            if merged_edges is None:
+                merged_edges = _merge_runs(src_edges[a], src_edges[b])
+            gain = (chain_score(seq, merged_edges)
+                    - current_scores[a] - current_scores[b])
+            if best is None or gain > best[0]:
+                best = (gain, seq)
+        return best
 
     while len(chains) > 1:
         best = None
         chain_ids = list(chains)
         for i, a in enumerate(chain_ids):
             for b in chain_ids[i + 1 :]:
-                if cross_weight(a, b) == 0:
+                if (a, b) not in cross:
                     continue
-                candidates = [chains[a] + chains[b], chains[b] + chains[a]]
-                for seq in candidates:
-                    # The entry block can never move off the front.
-                    if entry_chain in (a, b) and seq[0] != func.entry_label:
-                        continue
-                    gain = chain_score(seq) - current_scores[a] - current_scores[b]
-                    if best is None or gain > best[0]:
-                        best = (gain, a, b, seq)
+                cached = gain_cache.get((a, b), False)
+                if cached is False:
+                    cached = gain_cache[(a, b)] = pair_best(a, b)
+                if cached is None:
+                    continue
+                gain, seq = cached
+                if best is None or gain > best[0]:
+                    best = (gain, a, b, seq)
         if best is None or best[0] <= 0:
             break
         _, a, b, seq = best
         chains[a] = seq
-        current_scores[a] = chain_score(seq)
+        src_edges[a] = _merge_runs(src_edges[a], src_edges[b])
+        current_scores[a] = chain_score(seq, src_edges[a])
         for label in chains[b]:
             chain_of[label] = a
         if b == entry_chain:
             entry_chain = a
         del chains[b]
         del current_scores[b]
+        del src_edges[b]
+        # Fold b's cross weights into a's; drop stale cached gains.
+        cross.pop((a, b) if a < b else (b, a), None)
+        neighbors[a].discard(b)
+        for n in neighbors.pop(b):
+            if n == a:
+                continue
+            old = cross.pop((b, n) if b < n else (n, b))
+            pair = (a, n) if a < n else (n, a)
+            cross[pair] = cross.get(pair, 0) + old
+            neighbors[n].discard(b)
+            neighbors[n].add(a)
+            neighbors[a].add(n)
+        for key in [k for k in gain_cache if a in k or b in k]:
+            del gain_cache[key]
 
     def weight(cid):
         return max(func.blocks[l].exec_count for l in chains[cid])

@@ -49,6 +49,9 @@ class BoltOptions:
         lint_suppress=(),               # ("BL003", "crc32:BL001", ...)
         stale_matching=True,            # fuzzy-match stale profiles
         stale_min_quality=0.0,          # below: drop the profile entirely
+        time_opts=False,                # per-pass wall time (-time-opts)
+        time_rewrite=False,             # per-phase wall time (-time-rewrite)
+        threads=1,                      # parallel per-function passes
     ):
         self.reorder_blocks = reorder_blocks
         self.reorder_functions = reorder_functions
@@ -88,6 +91,9 @@ class BoltOptions:
         self.lint_suppress = lint_suppress
         self.stale_matching = stale_matching
         self.stale_min_quality = stale_min_quality
+        self.time_opts = time_opts
+        self.time_rewrite = time_rewrite
+        self.threads = threads
 
     def copy(self, **overrides):
         out = BoltOptions()

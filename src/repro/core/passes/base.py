@@ -9,22 +9,36 @@ BOLT conservatively skips at CFG-construction time — and a structured
 diagnostic is recorded.  Whole-context passes (ICF, inlining, function
 reordering) are contained at pass granularity instead.
 
+Snapshots are taken with :meth:`BinaryFunction.clone` — a hand-rolled
+deep copy of exactly the mutable CFG state — rather than generic
+``copy.deepcopy``, which dominated rewrite wall time (the pre-PR
+snapshot is preserved in :mod:`repro.core._reference_kernels` for the
+processing-time benchmarks).
+
+With ``BoltOptions.threads > 1`` per-function passes fan their
+function loop out over a chunked thread-pool work queue.  Workers only
+ever touch their own function (pass-wide read-only state is computed
+once in :meth:`BinaryPass.prepare`); failures are collected and
+contained on the coordinating thread in the function's original order,
+so diagnostics, stats, and the output binary are byte-identical to a
+serial run.
+
 With ``BoltOptions.verify_cfg`` the manager additionally re-checks CFG
 structural invariants after every pass and demotes any function a pass
 corrupted without raising.
 """
 
-import copy
+import time
 
 
 def snapshot_function(func):
     """A restorable deep snapshot of a function's mutable CFG state."""
-    return copy.deepcopy(func)
+    return func.clone()
 
 
 def restore_function(func, snapshot):
     """Restore a function to a previously-taken snapshot, in place."""
-    func.__dict__.update(copy.deepcopy(snapshot.__dict__))
+    func.__dict__.update(snapshot.clone().__dict__)
     return func
 
 
@@ -45,15 +59,36 @@ class BinaryPass:
 
     name = "pass"
 
+    #: Per-function passes whose ``run_on_function`` touches only its
+    #: own function (after ``prepare``) may run under ``--threads N``.
+    #: Whole-context passes override ``run`` and are never parallelized.
+    parallel_safe = True
+
+    def prepare(self, context):
+        """Compute pass-wide state once, before the function loop.
+
+        Runs on the coordinating thread; anything cached on ``self``
+        must be treated as read-only by ``run_on_function`` so the
+        parallel mode stays deterministic.
+        """
+
     def run(self, context):
         """Run over every optimizable function; returns a stats dict."""
         stats = {}
-        for func in context.simple_functions():
-            snapshot = snapshot_function(func)
-            try:
-                result = self.run_on_function(context, func)
-            except Exception as exc:
-                restore_function(func, snapshot)
+        funcs = context.simple_functions()
+        if not funcs:
+            return stats
+        self.prepare(context)
+        threads = int(getattr(context.options, "threads", 1) or 1)
+        if threads > 1 and self.parallel_safe and len(funcs) > 1:
+            outcomes = self._attempt_parallel(context, funcs, threads)
+        else:
+            # Lazy: containment for function k happens before k+1 runs,
+            # exactly like the historical serial loop.
+            outcomes = ((func, self._attempt(context, func))
+                        for func in funcs)
+        for func, (result, exc) in outcomes:
+            if exc is not None:
                 contain_function_failure(
                     context, func, f"pass:{self.name}", exc)
                 continue
@@ -61,6 +96,32 @@ class BinaryPass:
                 for key, value in result.items():
                     stats[key] = stats.get(key, 0) + value
         return stats
+
+    def _attempt(self, context, func):
+        """Run on one function with snapshot/restore containment."""
+        snapshot = snapshot_function(func)
+        try:
+            return self.run_on_function(context, func), None
+        except Exception as exc:
+            restore_function(func, snapshot)
+            return None, exc
+
+    def _attempt_parallel(self, context, funcs, threads):
+        """Chunked work queue; results in original function order."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        chunk_size = max(1, -(-len(funcs) // (threads * 4)))
+        chunks = [funcs[i : i + chunk_size]
+                  for i in range(0, len(funcs), chunk_size)]
+
+        def work(chunk):
+            return [self._attempt(context, func) for func in chunk]
+
+        with ThreadPoolExecutor(max_workers=threads) as pool:
+            per_chunk = list(pool.map(work, chunks))
+        return [(func, outcome)
+                for chunk, outcomes in zip(chunks, per_chunk)
+                for func, outcome in zip(chunk, outcomes)]
 
     def run_on_function(self, context, func):  # pragma: no cover - abstract
         raise NotImplementedError
@@ -73,7 +134,15 @@ class PassManager:
 
     def run(self, context):
         verify = getattr(context.options, "verify_cfg", False)
+        timing = getattr(context, "timing", None)
+        time_passes = timing is not None and timing.time_passes
+        dyno_prev = None
+        if time_passes and getattr(context.options, "dyno_stats", False):
+            from repro.core.dyno_stats import compute_dyno_stats
+            dyno_prev = compute_dyno_stats(context)
         for pass_ in self.passes:
+            started = time.perf_counter() if time_passes else None
+            functions = len(context.simple_functions()) if time_passes else None
             try:
                 self.stats[pass_.name] = pass_.run(context) or {}
             except Exception as exc:
@@ -87,6 +156,16 @@ class PassManager:
                     f"pass:{pass_.name}",
                     f"pass failed ({type(exc).__name__}: {exc}); skipped")
                 self.stats[pass_.name] = {}
+            if time_passes:
+                elapsed = time.perf_counter() - started
+                delta = None
+                if dyno_prev is not None:
+                    from repro.core.dyno_stats import compute_dyno_stats
+                    dyno_now = compute_dyno_stats(context)
+                    delta = dyno_now.delta_vs(dyno_prev)
+                    dyno_prev = dyno_now
+                timing.record_pass(pass_.name, elapsed,
+                                   functions=functions, dyno_delta=delta)
             if verify:
                 self._verify(context, pass_)
         return self.stats

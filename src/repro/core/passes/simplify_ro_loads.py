@@ -18,13 +18,21 @@ _I32_MIN, _I32_MAX = -(1 << 31), (1 << 31) - 1
 class SimplifyRoLoads(BinaryPass):
     name = "simplify-ro-loads"
 
-    def run_on_function(self, context, func):
-        converted = aborted = 0
+    def prepare(self, context):
+        # Jump-table slots are collected once per pass run (they used to
+        # be rescanned across every function, per function) and treated
+        # as read-only by the per-function loop, so the pass stays
+        # deterministic under --threads.
         table_addrs = set()
         for other in context.functions.values():
             for table in other.jump_tables:
                 table_addrs.update(range(table.address,
                                          table.address + table.size, 8))
+        self._table_addrs = table_addrs
+
+    def run_on_function(self, context, func):
+        converted = aborted = 0
+        table_addrs = self._table_addrs
         for block in func.blocks.values():
             for insn in block.insns:
                 if insn.op != Op.LOAD_ABS or insn.sym is not None:

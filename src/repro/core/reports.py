@@ -52,6 +52,43 @@ def dump_function(func, max_blocks=None):
     return "\n".join(lines)
 
 
+def format_timing_table(timing):
+    """The llvm-bolt ``-time-opts``/``-time-rewrite`` style table.
+
+    Renders per-pass rows (wall seconds, percent of timed pass total,
+    functions visited, and the pass's own dyno-stat movement when
+    available) and per-phase rows for the whole rewrite.
+    """
+    lines = []
+    if timing.passes:
+        total = sum(p.seconds for p in timing.passes) or 1e-12
+        lines.append("BOLT-INFO: pass timing "
+                     f"(total {total:.4f}s across {len(timing.passes)} "
+                     f"passes):")
+        width = max(len(p.name) for p in timing.passes)
+        for p in timing.passes:
+            row = (f"  {p.seconds:9.4f}s  {100 * p.seconds / total:5.1f}%  "
+                   f"{p.name:<{width}}")
+            if p.functions is not None:
+                row += f"  {p.functions:6d} funcs"
+            if p.dyno_delta:
+                moved = {k: v for k, v in p.dyno_delta.items()
+                         if v is not None and abs(v) >= 5e-4}
+                if moved:
+                    row += "  " + ", ".join(
+                        f"{k} {v:+.1%}" for k, v in sorted(moved.items()))
+            lines.append(row)
+    if timing.phases:
+        lines.append("BOLT-INFO: rewrite phase timing:")
+        width = max(len(p.name) for p in timing.phases)
+        for p in timing.phases:
+            lines.append(f"  {p.seconds:9.4f}s  {p.name:<{width}}")
+    if timing.total_seconds is not None:
+        lines.append(f"BOLT-INFO: rewrite wall time: "
+                     f"{timing.total_seconds:.4f}s")
+    return "\n".join(lines)
+
+
 def report_bad_layout(context, min_count=1, max_reports=None):
     """Find hot functions with cold blocks interleaved between hot ones.
 

@@ -12,6 +12,9 @@ Two operating modes, mirroring the paper's evolution:
   whole-binary function reordering (HFSort) and aggressive splitting.
 """
 
+import time
+from contextlib import nullcontext
+
 from repro.belf import (
     Binary,
     CallSiteRecord,
@@ -35,6 +38,7 @@ from repro.core.emitter import COLD_SUFFIX, Fragment, emit_function, _emit_raw
 from repro.core.options import BoltOptions
 from repro.core.passes.base import build_pipeline
 from repro.core.profile_attach import attach_profile
+from repro.core.timing import timing_report_for
 from repro.core.validate import validate_execution, validate_rewrite
 
 
@@ -54,6 +58,7 @@ class RewriteResult:
         self.cold_text_size = 0
         self.degraded = None    # None | "in-place" | "passthrough"
         self.fragments = None   # name -> emitted Fragment (set by _rewrite)
+        self.timing = None      # TimingReport (set when timing options on)
 
     @property
     def diagnostics(self):
@@ -104,6 +109,9 @@ class RewriteResult:
         if self.degraded:
             lines.append(f"BOLT-WARNING: output degraded to "
                          f"{self.degraded} mode")
+        if self.timing:
+            from repro.core.reports import format_timing_table
+            lines.append(format_timing_table(self.timing))
         lines.extend(self.diagnostics.render(Severity.WARNING))
         return "\n".join(lines)
 
@@ -143,7 +151,8 @@ def optimize_binary(binary, profile=None, options=None):
 
     if options.strict:
         result = _optimize_once(binary, profile, options)
-        problems = _gate_problems(binary, result, options)
+        with _phase(result.timing, "validate gate"):
+            problems = _gate_problems(binary, result, options)
         if problems:
             raise RewriteError(
                 "post-rewrite validation failed: " + "; ".join(problems[:5]))
@@ -167,7 +176,8 @@ def optimize_binary(binary, profile=None, options=None):
             continue
         for component, message in carried:
             result.diagnostics.error(component, message)
-        problems = _gate_problems(binary, result, opts)
+        with _phase(result.timing, "validate gate"):
+            problems = _gate_problems(binary, result, opts)
         if not problems:
             result.degraded = degraded
             if degraded:
@@ -189,23 +199,44 @@ def optimize_binary(binary, profile=None, options=None):
     return result
 
 
+def _phase(timing, name):
+    """A phase-timer context (no-op when timing is off)."""
+    return timing.phase(name) if timing is not None else nullcontext()
+
+
 def _optimize_once(binary, profile, options):
+    timing = timing_report_for(options)
+    started = time.perf_counter() if timing is not None else None
     context = BinaryContext(binary, options)
-    discover_functions(context)
-    build_all_functions(context)
+    context.timing = timing
+    with _phase(timing, "discover functions"):
+        discover_functions(context)
+    with _phase(timing, "build CFGs"):
+        build_all_functions(context)
     context.profile = profile
     context.function_order = None
     if profile is not None:
-        attach_profile(context, profile)
-    dyno_before = compute_dyno_stats(context) if options.dyno_stats else None
+        with _phase(timing, "attach profile"):
+            attach_profile(context, profile)
+    with _phase(timing, "dyno-stats (input)"):
+        dyno_before = (compute_dyno_stats(context)
+                       if options.dyno_stats else None)
     manager = build_pipeline(options)
-    pass_stats = manager.run(context)
+    with _phase(timing, "optimization passes"):
+        pass_stats = manager.run(context)
     if getattr(options, "lint", "none") not in (None, "none", False):
-        _lint_gate(context)
-    dyno_after = compute_dyno_stats(context) if options.dyno_stats else None
+        with _phase(timing, "lint gate"):
+            _lint_gate(context)
+    with _phase(timing, "dyno-stats (output)"):
+        dyno_after = (compute_dyno_stats(context)
+                      if options.dyno_stats else None)
 
     result = RewriteResult(None, context, pass_stats, dyno_before, dyno_after)
-    result.binary = _rewrite(context, result)
+    with _phase(timing, "emit and link"):
+        result.binary = _rewrite(context, result)
+    if timing is not None:
+        timing.total_seconds = time.perf_counter() - started
+    result.timing = timing
     return result
 
 
@@ -261,7 +292,8 @@ def _gate_problems(binary, result, options):
     if not problems and level == "execute":
         problems = validate_execution(
             binary, result.binary, inputs=options.validate_inputs,
-            max_instructions=options.validate_max_instructions)
+            max_instructions=options.validate_max_instructions,
+            diagnostics=result.context.diagnostics)
     return problems
 
 
@@ -309,8 +341,15 @@ def _passthrough_result(binary, profile, options):
     try:
         discover_functions(context)
         build_all_functions(context)
-    except Exception:
-        pass  # reporting-only state; the binary itself is untouched
+    except Exception as exc:
+        # Reporting-only state: the binary itself is returned untouched,
+        # but say *why* the summary counts will be incomplete instead of
+        # swallowing the failure.
+        context.diagnostics.warning(
+            "passthrough",
+            f"could not rebuild reporting state from the input binary "
+            f"({type(exc).__name__}: {exc}); summary counts will be "
+            f"incomplete")
     context.profile = profile
     context.function_order = None
     result = RewriteResult(binary, context, {}, None, None)

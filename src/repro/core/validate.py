@@ -225,22 +225,31 @@ def _revalidate_cfgs(context, out):
 
 
 def validate_execution(reference, candidate, inputs=None,
-                       max_instructions=5_000_000):
+                       max_instructions=5_000_000, diagnostics=None):
     """Execution equivalence on a smoke workload; returns problems.
 
     Runs both binaries on the uarch simulator with the same inputs and
     compares the program output stream and exit code.  The reference
     run's failures are *not* the rewrite's fault: if the input binary
     itself faults or exceeds the budget, equivalence is vacuously
-    accepted for that failure mode.
+    accepted for that failure mode — but the skip is recorded on
+    ``diagnostics`` (when given) rather than silently swallowed.
     """
     from repro.uarch import run_binary
 
     try:
         ref = run_binary(reference, inputs=inputs,
                          max_instructions=max_instructions)
-    except Exception:
-        return []  # input itself does not survive the smoke run
+    except Exception as exc:
+        # The input itself does not survive the smoke run, so there is
+        # nothing to compare the candidate against.
+        if diagnostics is not None:
+            diagnostics.warning(
+                "validate",
+                f"execution gate skipped: reference binary failed the "
+                f"smoke run ({type(exc).__name__}: {exc}); equivalence "
+                f"vacuously accepted")
+        return []
     try:
         cand = run_binary(candidate, inputs=inputs,
                           max_instructions=max_instructions)

@@ -95,7 +95,8 @@ def inject_binary_fault(binary, kind, targets=None, fraction=0.25, seed=0):
 def _pick_functions(binary, targets, fraction, rng):
     syms = [s for s in binary.functions() if s.size > 0]
     if targets is not None:
-        chosen = [s for s in syms if s.link_name() in set(targets)]
+        wanted = set(targets)  # hoisted: was rebuilt per symbol
+        chosen = [s for s in syms if s.link_name() in wanted]
     else:
         count = max(1, int(len(syms) * fraction))
         chosen = rng.sample(sorted(syms, key=lambda s: s.link_name()),

@@ -211,6 +211,21 @@ def run_bolt(built_or_exe, profile, options=None, smoke_inputs=None):
     return optimize_binary(exe, profile, options)
 
 
+def bolt_processing_time(built_or_exe, profile, options=None):
+    """Apply BOLT with the timing layer on; returns (result, timing).
+
+    The helper behind the processing-time benchmarks (EXPERIMENTS.md
+    "processing time", ``BENCH_pr3.json``): the wall number comes from
+    ``TimingReport.total_seconds`` so it matches what ``--time-rewrite``
+    prints.  ``timing`` is None when every rewrite attempt degraded to
+    passthrough.
+    """
+    options = (options or BoltOptions()).copy(
+        time_opts=True, time_rewrite=True)
+    result = run_bolt(built_or_exe, profile, options=options)
+    return result, result.timing
+
+
 def speedup(baseline_cycles, optimized_cycles):
     """Relative speedup, as the paper reports it (e.g. 0.08 = 8%)."""
     return baseline_cycles / optimized_cycles - 1.0

@@ -1,9 +1,27 @@
-"""HFSort/HFSort+ and block-layout algorithm tests."""
+"""HFSort/HFSort+ and block-layout algorithm tests.
 
+The fast kernels (reverse-adjacency HFSort, incremental HFSort+ and
+ext-TSP) must produce *identical* orders to the pre-PR reference
+implementations kept in ``repro.core._reference_kernels`` — the
+equivalence properties at the bottom pin that down on random graphs.
+"""
+
+import pytest
 from hypothesis import given, strategies as st
 
+from repro.core._reference_kernels import (
+    hfsort_plus_reference,
+    hfsort_reference,
+    order_blocks_reference,
+)
 from repro.core.binary_function import BinaryBasicBlock, BinaryFunction
-from repro.core.hfsort import CallGraph, hfsort, hfsort_plus
+from repro.core.hfsort import (
+    CallGraph,
+    OrderingError,
+    _check_permutation,
+    hfsort,
+    hfsort_plus,
+)
 from repro.core.layout_algos import order_blocks
 
 
@@ -164,3 +182,80 @@ def test_prop_layouts_are_permutations(n, seed):
         order = order_blocks(func, algo, hot_threshold=1)
         assert sorted(order) == sorted(func.blocks), algo
         assert order[0] == "e"
+
+
+# -- permutation guard and cold-tail regression ------------------------------
+
+
+def test_check_permutation_raises_on_dropped_function():
+    with pytest.raises(OrderingError, match="missing"):
+        _check_permutation("hfsort", ["a", "b"], ["a", "b", "c"])
+    with pytest.raises(OrderingError, match="extra"):
+        _check_permutation("hfsort", ["a", "b", "x"], ["a", "b", "c"])
+    _check_permutation("hfsort", ["b", "a"], ["a", "b"])  # permutation: fine
+
+
+def test_hfsort_plus_cold_tail_complete_and_in_input_order():
+    """Regression: the cold tail must carry *every* unprofiled function
+    through, in hfsort's (natural input) order — nothing silently
+    dropped even when hot clusters churn through many merges."""
+    nodes = [(f"hot{i}", 100 - i, 64) for i in range(8)]
+    nodes += [(f"cold{i}", 0, 64) for i in range(8)]
+    arcs = [(f"hot{i}", f"hot{i + 1}", 50 + i) for i in range(7)]
+    graph = graph_of(nodes, arcs)
+    order = hfsort_plus(graph)
+    assert sorted(order) == sorted(graph.weights)
+    tail = order[-8:]
+    assert tail == [f"cold{i}" for i in range(8)]  # input order preserved
+
+
+def test_hfsort_plus_handles_duplicate_registration():
+    graph = graph_of(
+        [("a", 50, 32), ("a", 50, 32), ("b", 10, 32), ("z", 0, 32)],
+        [("a", "b", 30)],
+    )
+    assert graph.weights["a"] == 100  # weights accumulate
+    order = hfsort_plus(graph)
+    assert sorted(order) == ["a", "b", "z"]
+
+
+# -- equivalence with the pre-PR reference kernels ---------------------------
+
+
+def _random_graph(rng, n):
+    graph = CallGraph()
+    names = [f"f{i}" for i in range(n)]
+    for name in names:
+        graph.add_function(name, rng.choice([0, 0, rng.randrange(1, 500)]),
+                           rng.randrange(1, 9000))
+    for _ in range(rng.randrange(0, 3 * n)):
+        graph.add_arc(rng.choice(names), rng.choice(names),
+                      rng.randrange(0, 100))
+    return graph
+
+
+@given(n=st.integers(1, 14), seed=st.integers(0, 10_000))
+def test_prop_hfsort_matches_reference(n, seed):
+    import random
+
+    graph = _random_graph(random.Random(seed), n)
+    assert hfsort(graph) == hfsort_reference(graph)
+    assert hfsort_plus(graph) == hfsort_plus_reference(graph)
+
+
+@given(n=st.integers(2, 10), seed=st.integers(0, 10_000))
+def test_prop_order_blocks_matches_reference(n, seed):
+    import random
+
+    rng = random.Random(seed)
+    labels = ["e"] + [f"b{i}" for i in range(n)]
+    counts = {label: rng.choice([0, rng.randrange(0, 200)])
+              for label in labels}
+    edges = {}
+    for src in labels:
+        for dst in rng.sample(labels[1:], min(rng.randrange(0, 4), n)):
+            edges[(src, dst)] = rng.randrange(0, 80)
+    func = _make_func(edges, counts)
+    for algo in ("none", "reverse", "cache", "cache+"):
+        assert (order_blocks(func, algo)
+                == order_blocks_reference(func, algo)), algo
