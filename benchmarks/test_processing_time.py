@@ -187,6 +187,75 @@ def test_snapshot_microbenchmark():
     assert speedup > 1.0
 
 
+def _synthetic_shards(n_shards, records_per_shard, seed=2024):
+    """Random fleet shards: shared hot core + per-shard tail, the shape
+    real per-host collections have."""
+    from repro.profiling import BinaryProfile, write_fdata
+
+    rng = random.Random(seed)
+    names = [f"func_{i}" for i in range(40)]
+
+    def loc():
+        return (rng.choice(names), rng.randrange(0, 0x400))
+
+    core = [(loc(), loc()) for _ in range(records_per_shard // 2)]
+    shards = []
+    for shard in range(n_shards):
+        profile = BinaryProfile(event="cycles", lbr=True,
+                                build_id="bench-build")
+        for src, dst in core:
+            profile.add_branch(src, dst, count=rng.randrange(1, 500),
+                               mispred=rng.random() < 0.1)
+        for _ in range(records_per_shard - len(core)):
+            profile.add_branch(loc(), loc(), count=rng.randrange(1, 50))
+        shards.append((f"host{shard:02d}", write_fdata(profile)))
+    return shards
+
+
+@pytest.mark.aggregate
+def test_aggregation_throughput():
+    """merge-fdata throughput (BENCH_pr4.json): shards/second for the
+    serial path vs the chunked thread-pool path, byte-identical output
+    required."""
+    from repro.profiling import aggregate_shards, write_fdata
+
+    n_shards = max(4, int(24 * SCALE))
+    records = max(200, int(2000 * SCALE))
+    shards = _synthetic_shards(n_shards, records)
+
+    serial, t_serial = _timed(lambda: aggregate_shards(shards, threads=1),
+                              repeat=2)
+    threaded, t_threaded = _timed(lambda: aggregate_shards(shards, threads=4),
+                                  repeat=2)
+    # Parallelism must not change the merged bytes or the report.
+    assert write_fdata(serial.profile) == write_fdata(threaded.profile)
+    assert serial.to_json() == threaded.to_json()
+
+    serial_rate = n_shards / max(t_serial, 1e-9)
+    threaded_rate = n_shards / max(t_threaded, 1e-9)
+    print_table(
+        f"merge-fdata aggregation throughput "
+        f"({n_shards} shards x {records} records)",
+        ("configuration", "wall", "shards/s"),
+        [("serial", f"{t_serial:.3f}s", f"{serial_rate:.1f}"),
+         ("--threads 4", f"{t_threaded:.3f}s", f"{threaded_rate:.1f}")])
+    doc = {
+        "scale": SCALE,
+        "aggregation": {
+            "shards": n_shards,
+            "records_per_shard": records,
+            "serial_s": round(t_serial, 4),
+            "threads4_s": round(t_threaded, 4),
+            "serial_shards_per_s": round(serial_rate, 2),
+            "threads4_shards_per_s": round(threaded_rate, 2),
+            "merged_branch_records": len(serial.profile.branches),
+        },
+    }
+    bench_path = _BENCH_PATH.with_name("BENCH_pr4.json")
+    bench_path.write_text(json.dumps(doc, indent=2) + "\n")
+    assert serial_rate > 0 and threaded_rate > 0
+
+
 def test_end_to_end_processing_time(monkeypatch):
     """Full-pipeline wall time, fast vs pre-PR kernels: the >= 2x
     acceptance gate, measured by the same timing layer ``--time-rewrite``

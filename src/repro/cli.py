@@ -3,6 +3,7 @@
     python -m repro.cli build  -o app.belf src1.bc src2.bc [--lto] [--pgo]
     python -m repro.cli run    app.belf
     python -m repro.cli profile app.belf -o app.fdata [--no-lbr]
+    python -m repro.cli merge-fdata host*.fdata -o app.fdata [-b app.belf]
     python -m repro.cli bolt   app.belf -p app.fdata -o app.bolt.belf
     python -m repro.cli lint   app.belf          # static lint (BL rules)
     python -m repro.cli stat   app.belf          # perf-stat analog
@@ -128,6 +129,35 @@ def cmd_bolt(args):
             interesting = {k: v for k, v in stats.items() if v}
             if interesting:
                 print(f"  pass {name}: {interesting}")
+
+
+def cmd_merge_fdata(args):
+    """Aggregate fleet profile shards into one .fdata (merge-fdata)."""
+    from repro.profiling import aggregate_shards, load_shard_files
+    from repro.core.reports import format_aggregation_report
+
+    shards = load_shard_files(args.inputs)
+    binary = None
+    if args.binary:
+        binary = read_binary(pathlib.Path(args.binary).read_bytes())
+    aggregation = aggregate_shards(
+        shards,
+        weights=args.weight or None,
+        binary=binary,
+        threads=args.threads,
+        cache_dir=args.cache_dir,
+        stale_downweight=args.stale_downweight,
+        min_match_quality=args.min_match_quality,
+    )
+    pathlib.Path(args.output).write_text(write_fdata(aggregation.profile))
+    if args.json:
+        print(aggregation.to_json())
+    else:
+        print(format_aggregation_report(aggregation.report()))
+        print(f"wrote {args.output}")
+    for line in aggregation.diagnostics.render(Severity.WARNING):
+        print(line, file=sys.stderr)
+    return 1 if aggregation.diagnostics.errors else 0
 
 
 def cmd_lint(args):
@@ -276,6 +306,36 @@ def make_parser():
     p.set_defaults(func=cmd_bolt, strict=False)
     p.add_argument("-v", "--verbose", action="store_true",
                    help="print a BOLT-INFO summary of the rewrite")
+
+    p = sub.add_parser("merge-fdata",
+                       help="aggregate fleet .fdata shards into one profile")
+    p.add_argument("inputs", nargs="+", metavar="SHARD",
+                   help=".fdata shard files (one per host)")
+    p.add_argument("-o", "--output", required=True,
+                   help="merged .fdata output path")
+    p.add_argument("-b", "--binary",
+                   help="target BELF binary: stale shards are fuzzy-"
+                        "reconciled against it and downweighted by "
+                        "match quality")
+    p.add_argument("--weight", action="append", type=float, default=[],
+                   metavar="W",
+                   help="per-shard weight (repeat per shard, or give "
+                        "once to apply to all; default 1.0)")
+    p.add_argument("--threads", type=int, default=1, metavar="N",
+                   help="parse shards on N threads (output is "
+                        "byte-identical to serial)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="on-disk shard cache; unchanged shards skip "
+                        "re-parsing and re-reconciliation")
+    p.add_argument("--stale-downweight", type=float, default=0.5,
+                   help="weight factor for stale shards whose match "
+                        "quality cannot be measured (default 0.5)")
+    p.add_argument("--min-match-quality", type=float, default=0.0,
+                   help="exclude stale shards matching below this "
+                        "fraction (FD013)")
+    p.add_argument("--json", action="store_true",
+                   help="print the shard quality report as JSON")
+    p.set_defaults(func=cmd_merge_fdata)
 
     p = sub.add_parser("lint", help="static binary lint (BL rule IDs)")
     p.add_argument("binary")

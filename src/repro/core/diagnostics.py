@@ -87,6 +87,14 @@ class Diagnostics:
             raise StrictModeError(diag.render())
         return diag
 
+    def extend(self, diagnostics):
+        """Replay records collected elsewhere (e.g. by a worker-local
+        collector during a parallel stage) into this one, re-applying
+        this collector's strictness."""
+        for diag in diagnostics:
+            self._record(diag.severity, diag.component, diag.message,
+                         diag.function)
+
     # -- queries -----------------------------------------------------------
 
     def by_severity(self, severity):

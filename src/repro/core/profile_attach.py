@@ -226,6 +226,84 @@ def _similarity(func, orphan_name, signature):
     return score
 
 
+def detect_stale(context, profile):
+    """Public wrapper for shard-level staleness detection.
+
+    Returns ``(stale, reason)`` using the same build-id stamp and
+    structural heuristic :func:`attach_profile` applies — the fleet
+    aggregator calls this per shard before deciding whether to
+    reconcile it.
+    """
+    return _detect_stale(context, profile)
+
+
+def match_stale_functions(context, profile):
+    """Public wrapper for the fuzzy function re-matcher (PR 1)."""
+    return _match_stale_functions(context, profile)
+
+
+def reconcile_shard(context, profile):
+    """Fuzzy-match one stale shard against a binary's CFGs.
+
+    Returns ``(remap, match_stats)`` where ``remap`` is {profile name
+    -> binary function name} and ``match_stats`` is the per-shard
+    match-quality accounting previously only computed (and reported)
+    for the single-profile attach path.
+    """
+    remap = _match_stale_functions(context, profile)
+    return remap, measure_match_quality(context, profile, remap)
+
+
+def measure_match_quality(context, profile, remap=None):
+    """Non-mutating per-shard match-quality measurement.
+
+    Walks every intra-function branch record through the same
+    exact-match rule :func:`_attach_lbr` enforces (real branch site,
+    real successor block entry) without annotating any CFG, so the
+    aggregation pipeline can report match quality per shard.
+
+    Returns ``{"matched", "total", "out_of_range", "quality",
+    "remapped"}`` with counts in record-count mass (quality is None
+    when the shard has no intra-function records).
+    """
+    remap = remap or {}
+    source_of = {}
+    for pname, fname in remap.items():
+        source_of.setdefault(fname, pname)
+
+    total = sum(count for (f, t), (count, _) in profile.branches.items()
+                if f[0] == t[0])
+    matched = out_of_range = 0
+    for func in context.functions.values():
+        if not func.is_simple:
+            continue
+        source = source_of.get(func.name, func.name)
+        records = profile.branches_within(source)
+        if not records:
+            continue
+        index = _OffsetIndex(func)
+        for (from_off, to_off), (count, _) in records.items():
+            if not (0 <= from_off < func.size and 0 <= to_off < func.size):
+                out_of_range += count
+                continue
+            from_block = index.containing(from_off)
+            to_block = index.at(to_off)
+            if from_block is None or to_block is None:
+                continue
+            if _branch_at(from_block, func.address + from_off) is None:
+                continue
+            if to_block.label not in from_block.successors:
+                continue
+            matched += count
+    return {
+        "matched": matched,
+        "total": total,
+        "out_of_range": out_of_range,
+        "quality": (matched / total) if total else None,
+        "remapped": len(remap),
+    }
+
+
 def _strip_profile(context):
     """Unusable profile: leave every function unannotated."""
     for func in context.functions.values():

@@ -89,6 +89,46 @@ def format_timing_table(timing):
     return "\n".join(lines)
 
 
+def format_aggregation_report(report):
+    """Human-readable rendering of the merge-fdata quality report.
+
+    Takes the dict from :meth:`AggregationResult.report` and renders
+    per-shard rows (records, dropped lines, staleness, match quality,
+    divergence from the fleet consensus, cache state) plus the merged
+    totals — the ``--json`` report's textual twin.
+    """
+    lines = []
+    shards = report["shards"]
+    width = max((len(s["name"]) for s in shards), default=5)
+    lines.append(f"BOLT-INFO: merge-fdata: {len(shards)} shard(s), "
+                 f"{report['stale_shards']} stale, "
+                 f"{report['cache_hits']} cache hit(s), "
+                 f"{report['dropped_lines']} dropped line(s)")
+    header = (f"  {'shard':<{width}}  {'branches':>8}  {'samples':>7}  "
+              f"{'dropped':>7}  {'weight':>7}  {'match':>6}  {'diverg':>6}  "
+              f"stale  cache")
+    lines.append(header)
+    for s in shards:
+        match = s["match"]
+        quality = (f"{match['quality'] * 100:5.1f}%"
+                   if match and match.get("quality") is not None else "     -")
+        diverg = (f"{s['divergence']:6.3f}"
+                  if s["divergence"] is not None else "     -")
+        lines.append(
+            f"  {s['name']:<{width}}  {s['branch_records']:>8}  "
+            f"{s['sample_records']:>7}  {s['parse']['dropped_total']:>7}  "
+            f"{s['effective_weight']:>7.3g}  {quality}  {diverg}  "
+            f"{'yes' if s['stale'] else ' no'}   {s['cache']}")
+    merged = report["merged"]
+    coverage = report["coverage"]
+    lines.append(
+        f"BOLT-INFO: merged profile: {merged['branch_records']} branch "
+        f"record(s), {merged['sample_records']} sample site(s), "
+        f"{merged['functions']} function(s) "
+        f"({coverage['functions_common']} covered by every shard)")
+    return "\n".join(lines)
+
+
 def report_bad_layout(context, min_count=1, max_reports=None):
     """Find hot functions with cold blocks interleaved between hot ones.
 

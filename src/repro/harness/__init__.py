@@ -15,6 +15,8 @@ from repro.harness.pipeline import (
     run_bolt,
     speedup,
     hfsort_link_order,
+    collect_fleet_shards,
+    bolt_with_fleet_profile,
 )
 from repro.harness.metrics import (
     miss_reduction,
@@ -36,6 +38,8 @@ __all__ = [
     "run_bolt",
     "speedup",
     "hfsort_link_order",
+    "collect_fleet_shards",
+    "bolt_with_fleet_profile",
     "miss_reduction",
     "counter_reductions",
     "summarize_counters",

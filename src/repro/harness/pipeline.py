@@ -15,6 +15,8 @@ from repro.profiling import (
     Sampler,
     SamplingConfig,
     aggregate_samples,
+    aggregate_shards,
+    write_fdata,
 )
 from repro.uarch import run_binary
 
@@ -224,6 +226,68 @@ def bolt_processing_time(built_or_exe, profile, options=None):
         time_opts=True, time_rewrite=True)
     result = run_bolt(built_or_exe, profile, options=options)
     return result, result.timing
+
+
+#: Per-host sampling periods for the fleet simulation: coprime periods
+#: make each host sample a different phase of the same workload, like
+#: unsynchronized perf sessions across a tier.
+_HOST_PERIODS = (251, 257, 263, 269, 271, 277, 281, 283, 293, 307, 311, 313)
+
+
+def collect_fleet_shards(built_or_exe, hosts=4, sampling=None,
+                         vary_inputs=True,
+                         max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """Simulate a fleet: N hosts each sample the same service.
+
+    Every host runs the workload under its own sampling period (and,
+    when the workload defines alternative input mixes, its own input
+    mix) and writes its LBR collection out as an ``.fdata`` shard —
+    the per-host half of the paper's data-center flow (section 2).
+
+    Returns ``[(host name, fdata text)]``, ready for
+    :func:`repro.profiling.aggregate_shards`.
+    """
+    exe = (built_or_exe.exe if isinstance(built_or_exe, BuiltBinary)
+           else built_or_exe)
+    base = sampling or SamplingConfig(period=251)
+    input_pool = [None]
+    if isinstance(built_or_exe, BuiltBinary):
+        workload = built_or_exe.workload
+        input_pool = [workload.inputs]
+        if vary_inputs:
+            input_pool += [mix for _, mix in sorted(workload.alt_inputs.items())]
+    shards = []
+    for host in range(hosts):
+        config = SamplingConfig(
+            event=base.event,
+            period=_HOST_PERIODS[host % len(_HOST_PERIODS)],
+            skid=base.skid, use_lbr=base.use_lbr)
+        inputs = input_pool[host % len(input_pool)]
+        profile, _ = _sample(exe, inputs, config, max_instructions)
+        shards.append((f"host{host:02d}", write_fdata(profile)))
+    return shards
+
+
+def bolt_with_fleet_profile(built_or_exe, hosts=4, options=None,
+                            threads=1, cache_dir=None, sampling=None,
+                            vary_inputs=True,
+                            max_instructions=DEFAULT_MAX_INSTRUCTIONS):
+    """The fleet flow end to end: sample N hosts, aggregate the shards
+    (merge-fdata), and feed the merged profile into the rewrite.
+
+    Returns ``(RewriteResult, AggregationResult)`` — the second carries
+    the per-shard quality report the CLI renders with ``--json``.
+    """
+    exe = (built_or_exe.exe if isinstance(built_or_exe, BuiltBinary)
+           else built_or_exe)
+    shards = collect_fleet_shards(built_or_exe, hosts=hosts,
+                                  sampling=sampling,
+                                  vary_inputs=vary_inputs,
+                                  max_instructions=max_instructions)
+    aggregation = aggregate_shards(shards, binary=exe, threads=threads,
+                                   cache_dir=cache_dir)
+    result = run_bolt(built_or_exe, aggregation.profile, options=options)
+    return result, aggregation
 
 
 def speedup(baseline_cycles, optimized_cycles):

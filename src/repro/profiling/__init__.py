@@ -13,6 +13,21 @@ from repro.profiling.aggregate import (
     aggregate_samples,
     profile_binary,
     AddressMapper,
+    AggregationResult,
+    ShardCache,
+    ShardReport,
+    aggregate_shards,
+    load_shard_files,
+)
+from repro.profiling.merge import (
+    FDATA_RULES,
+    ShardStats,
+    merge_profiles,
+    normalize_profile,
+    parse_fdata_shard,
+    remap_profile_names,
+    scale_profile,
+    shard_divergence,
 )
 from repro.profiling.mcf import min_cost_flow_edges
 from repro.profiling.accuracy import (
@@ -37,6 +52,19 @@ __all__ = [
     "aggregate_samples",
     "profile_binary",
     "AddressMapper",
+    "AggregationResult",
+    "ShardCache",
+    "ShardReport",
+    "aggregate_shards",
+    "load_shard_files",
+    "FDATA_RULES",
+    "ShardStats",
+    "merge_profiles",
+    "normalize_profile",
+    "parse_fdata_shard",
+    "remap_profile_names",
+    "scale_profile",
+    "shard_divergence",
     "min_cost_flow_edges",
     "overlap_accuracy",
     "ir_edge_truth",
