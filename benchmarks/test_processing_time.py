@@ -214,19 +214,35 @@ def _synthetic_shards(n_shards, records_per_shard, seed=2024):
 
 @pytest.mark.aggregate
 def test_aggregation_throughput():
-    """merge-fdata throughput (BENCH_pr4.json): shards/second for the
-    serial path vs the chunked thread-pool path, byte-identical output
-    required."""
+    """merge-fdata throughput (BENCH_pr4.json): shards/second for
+    ``--threads 1`` vs ``--threads 4``, byte-identical output required.
+
+    Since PR 5 the pool only engages when the shard cache gives the
+    workers file I/O to overlap; plain in-memory aggregation is
+    GIL-bound pure Python, so ``--threads 4`` takes the serial path and
+    must not be measurably slower than ``--threads 1``."""
     from repro.profiling import aggregate_shards, write_fdata
 
     n_shards = max(4, int(24 * SCALE))
     records = max(200, int(2000 * SCALE))
     shards = _synthetic_shards(n_shards, records)
 
-    serial, t_serial = _timed(lambda: aggregate_shards(shards, threads=1),
-                              repeat=2)
-    threaded, t_threaded = _timed(lambda: aggregate_shards(shards, threads=4),
-                                  repeat=2)
+    # Interleave paired runs and take medians: the two configurations
+    # execute the same amount of work, so alternating them cancels the
+    # slow drift of a busy host that back-to-back min-of-N would fold
+    # into whichever configuration ran second.
+    aggregate_shards(shards, threads=1)  # warm-up (imports, allocator)
+    serial = threaded = None
+    samples_serial, samples_threaded = [], []
+    for _ in range(3):
+        t0 = time.perf_counter()
+        serial = aggregate_shards(shards, threads=1)
+        samples_serial.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        threaded = aggregate_shards(shards, threads=4)
+        samples_threaded.append(time.perf_counter() - t0)
+    t_serial = sorted(samples_serial)[len(samples_serial) // 2]
+    t_threaded = sorted(samples_threaded)[len(samples_threaded) // 2]
     # Parallelism must not change the merged bytes or the report.
     assert write_fdata(serial.profile) == write_fdata(threaded.profile)
     assert serial.to_json() == threaded.to_json()
@@ -254,6 +270,12 @@ def test_aggregation_throughput():
     bench_path = _BENCH_PATH.with_name("BENCH_pr4.json")
     bench_path.write_text(json.dumps(doc, indent=2) + "\n")
     assert serial_rate > 0 and threaded_rate > 0
+    # PR 5 acceptance: --threads must not lose to serial (10% noise
+    # margin; both configurations run the identical serial code path
+    # when no shard cache is configured).
+    assert threaded_rate >= serial_rate * 0.9, (
+        f"--threads 4 slower than serial: "
+        f"{threaded_rate:.1f} vs {serial_rate:.1f} shards/s")
 
 
 def test_end_to_end_processing_time(monkeypatch):

@@ -63,7 +63,8 @@ def cmd_build(args):
 
 def cmd_run(args):
     exe = read_binary(pathlib.Path(args.binary).read_bytes())
-    cpu = run_binary(exe, max_instructions=args.max_instructions)
+    cpu = run_binary(exe, max_instructions=args.max_instructions,
+                     engine=args.engine)
     for value in cpu.output:
         print(value)
     print(f"exit code: {cpu.exit_code}", file=sys.stderr)
@@ -75,7 +76,8 @@ def cmd_profile(args):
     sampling = SamplingConfig(event=args.event, period=args.period,
                               use_lbr=not args.no_lbr)
     profile, cpu = profile_binary(exe, sampling=sampling,
-                                  max_instructions=args.max_instructions)
+                                  max_instructions=args.max_instructions,
+                                  engine=args.engine)
     pathlib.Path(args.output).write_text(write_fdata(profile))
     print(f"wrote {args.output}: {len(profile.branches)} branch records, "
           f"{len(profile.ip_samples)} sample sites "
@@ -181,7 +183,8 @@ def cmd_lint(args):
 
 def cmd_stat(args):
     exe = read_binary(pathlib.Path(args.binary).read_bytes())
-    cpu = run_binary(exe, max_instructions=args.max_instructions)
+    cpu = run_binary(exe, max_instructions=args.max_instructions,
+                     engine=args.engine)
     c = cpu.counters
     print(f"{'instructions':24s} {c.instructions:>14,}")
     print(f"{'cycles':24s} {c.cycles:>14,}")
@@ -253,6 +256,9 @@ def make_parser():
     p = sub.add_parser("run", help="execute a BELF binary")
     p.add_argument("binary")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--engine", choices=["block", "ref"], default=None,
+                   help="execution engine: block (trace-cached, default) "
+                        "or ref (per-instruction oracle)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("profile", help="sample a run; write .fdata")
@@ -263,6 +269,9 @@ def make_parser():
     p.add_argument("--period", type=int, default=251)
     p.add_argument("--no-lbr", action="store_true")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--engine", choices=["block", "ref"], default=None,
+                   help="execution engine: block (trace-cached, default) "
+                        "or ref (per-instruction oracle)")
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("bolt", help="post-link optimize a binary")
@@ -350,6 +359,9 @@ def make_parser():
     p = sub.add_parser("stat", help="perf-stat analog")
     p.add_argument("binary")
     p.add_argument("--max-instructions", type=int, default=100_000_000)
+    p.add_argument("--engine", choices=["block", "ref"], default=None,
+                   help="execution engine: block (trace-cached, default) "
+                        "or ref (per-instruction oracle)")
     p.set_defaults(func=cmd_stat)
 
     p = sub.add_parser("objdump", help="linear disassembly listing")

@@ -39,6 +39,17 @@ def counter_reductions(before, after, metrics=FIGURE6_METRICS):
     }
 
 
+def simulated_mips(counters, wall_seconds):
+    """Simulated millions-of-instructions-per-second of host wall time.
+
+    The throughput figure of merit for the execution engines
+    (EXPERIMENTS.md "simulation throughput", ``BENCH_pr5.json``).
+    """
+    if wall_seconds <= 0:
+        return 0.0
+    return counters.instructions / wall_seconds / 1e6
+
+
 def summarize_counters(counters):
     """Compact human-readable counter summary."""
     c = counters

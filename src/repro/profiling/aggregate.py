@@ -85,7 +85,7 @@ def aggregate_samples(samples, mapper, event="cycles", lbr=True,
 
 
 def profile_binary(binary, inputs=None, config=None, sampling=None,
-                   max_instructions=50_000_000):
+                   max_instructions=50_000_000, engine=None):
     """Run a binary under the sampler and aggregate the profile.
 
     Returns (BinaryProfile, cpu) — the cpu gives access to true
@@ -96,7 +96,7 @@ def profile_binary(binary, inputs=None, config=None, sampling=None,
     sampling = sampling or SamplingConfig()
     sampler = Sampler(sampling)
     cpu = run_binary(binary, inputs=inputs, config=config, sampler=sampler,
-                     max_instructions=max_instructions)
+                     max_instructions=max_instructions, engine=engine)
     mapper = AddressMapper(binary)
     profile = aggregate_samples(sampler.samples, mapper,
                                 event=sampling.event, lbr=sampling.use_lbr,
@@ -383,8 +383,10 @@ def aggregate_shards(shards, weights=None, binary=None, threads=1,
             Without it, the fleet-majority build-id group is the
             reference and off-reference shards get
             ``stale_downweight``.
-        threads: parse/reconcile fan-out (PR 3 chunked pool pattern);
-            output is byte-identical to a serial run.
+        threads: parse/reconcile fan-out.  Only engaged when the shard
+            cache is active (the work is otherwise GIL-bound pure
+            Python and threads would slow it down); output is
+            byte-identical to a serial run either way.
         cache_dir: on-disk shard cache directory (None = no cache).
         min_match_quality: stale shards matching below this fraction
             are excluded entirely (FD013).
@@ -410,11 +412,16 @@ def aggregate_shards(shards, weights=None, binary=None, threads=1,
                                  cache)
                 for name, text, sha in chunk]
 
+    # Shard parsing/reconciliation is pure Python, so under the GIL a
+    # thread pool only adds scheduling overhead — unless the on-disk
+    # shard cache is active, where the workers overlap file I/O.
+    # Serial otherwise keeps `--threads N` no slower than `--threads 1`;
+    # either way the merged output is byte-identical.
     threads = int(threads or 1)
-    if threads > 1 and len(jobs) > 1:
+    if threads > 1 and len(jobs) > 1 and cache is not None:
         from concurrent.futures import ThreadPoolExecutor
 
-        chunk_size = max(1, -(-len(jobs) // (threads * 4)))
+        chunk_size = max(1, -(-len(jobs) // threads))
         chunks = [jobs[i: i + chunk_size]
                   for i in range(0, len(jobs), chunk_size)]
         with ThreadPoolExecutor(max_workers=threads) as pool:

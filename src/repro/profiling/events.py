@@ -49,5 +49,10 @@ class Sampler:
     def take_sample(self, pc, lbr_snapshot):
         self.samples.append((pc, lbr_snapshot))
 
+    def state(self):
+        """Comparable sample stream (for engine-equivalence pinning)."""
+        return [(pc, None if lbr is None else tuple(lbr))
+                for pc, lbr in self.samples]
+
     def __len__(self):
         return len(self.samples)

@@ -17,7 +17,8 @@ from repro.uarch.lbr import LBR
 from repro.uarch.counters import Counters
 from repro.uarch.config import UarchConfig
 from repro.uarch.machine import Machine, MachineFault
-from repro.uarch.cpu import CPU, ExecutionLimitExceeded, run_binary
+from repro.uarch.cpu import BlockCPU, CPU, ExecutionLimitExceeded, run_binary
+from repro.uarch._reference_cpu import ReferenceCPU
 
 __all__ = [
     "Cache",
@@ -29,6 +30,8 @@ __all__ = [
     "Machine",
     "MachineFault",
     "CPU",
+    "BlockCPU",
+    "ReferenceCPU",
     "ExecutionLimitExceeded",
     "run_binary",
 ]

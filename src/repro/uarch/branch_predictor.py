@@ -38,6 +38,19 @@ class BranchPredictor:
         self.ras = []
         self.ras_depth = ras_depth
 
+    def state(self):
+        """Comparable full state (for engine-equivalence pinning)."""
+        return (
+            self.kind,
+            tuple(self.bimodal),
+            tuple(self.gshare),
+            tuple(self.chooser),
+            self.history,
+            tuple(sorted(self.btb.items())),
+            tuple(self.btb_order),
+            tuple(self.ras),
+        )
+
     # -- conditional branches ------------------------------------------------
 
     def _bimodal_index(self, pc):

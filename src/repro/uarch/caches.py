@@ -18,6 +18,7 @@ class Cache:
             raise ValueError("number of sets must be a power of two")
         self.assoc = assoc
         self.set_mask = self.num_sets - 1
+        self.tag_shift = self.set_mask.bit_length()
         self.sets = [[] for _ in range(self.num_sets)]
         self.accesses = 0
         self.misses = 0
@@ -26,7 +27,7 @@ class Cache:
         self.accesses += 1
         line = addr >> self.line_bits
         ways = self.sets[line & self.set_mask]
-        tag = line >> (self.set_mask.bit_length())
+        tag = line >> self.tag_shift
         if ways and ways[0] == tag:
             return True  # already most-recently-used
         try:
@@ -44,7 +45,7 @@ class Cache:
         """Bring a line in without counting an access (prefetch)."""
         line = addr >> self.line_bits
         ways = self.sets[line & self.set_mask]
-        tag = line >> (self.set_mask.bit_length())
+        tag = line >> self.tag_shift
         if tag in ways:
             return
         if len(ways) >= self.assoc:

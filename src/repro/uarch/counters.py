@@ -52,5 +52,20 @@ class Counters:
             "dtlb": rate(self.dtlb_misses, self.dtlb_accesses),
         }
 
+    def __eq__(self, other):
+        if not isinstance(other, Counters):
+            return NotImplemented
+        return all(getattr(self, f) == getattr(other, f) for f in self.FIELDS)
+
+    def __ne__(self, other):
+        eq = self.__eq__(other)
+        return eq if eq is NotImplemented else not eq
+
+    def diff(self, other):
+        """{field: (self, other)} for every differing field."""
+        return {f: (getattr(self, f), getattr(other, f))
+                for f in self.FIELDS
+                if getattr(self, f) != getattr(other, f)}
+
     def __repr__(self):
         return f"<Counters instructions={self.instructions} cycles={self.cycles}>"

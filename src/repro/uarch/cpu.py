@@ -1,476 +1,958 @@
-"""The CPU: interpreter + performance model + profiling hooks.
+"""Block-cached execution engine for the BX86 simulator.
 
-Executes decoded BX86 instructions out of the loaded memory image,
-charging cycles via :class:`UarchConfig` penalties.  Supports:
+The pre-PR 5 per-instruction interpreter lives on verbatim in
+:mod:`repro.uarch._reference_cpu` (class :class:`ReferenceCPU`) as the
+equivalence oracle.  This module adds :class:`BlockCPU`, a bit-exact
+but several-times-faster engine built on three ideas:
 
-* hardware-style sampling with configurable event and skid (section 5.1);
-* LBR capture of taken branches (section 5.1);
-* frame-pointer unwinding for ``__throw`` using the binary's CFI-lite
-  frame records (section 3.4) — including after BOLT has rewritten them.
+1. **Per-binary trace cache.**  Code is immutable after load, so
+   straight-line instruction runs are pre-decoded once into traces
+   keyed by entry pc and shared by every CPU instance executing the
+   same :class:`~repro.belf.binary.Binary` (fleet shard collection
+   decodes each binary once instead of once per host).  Each step is a
+   flat tuple ``(kind, a, b, c, d, pc, fetch_events)`` with operands
+   pre-extracted — no per-instruction ``insn.regs[0]`` attribute
+   chases and no 60-arm opcode dispatch.
+
+2. **Block-hoisted fetch accounting.**  Within a straight-line trace
+   the i-side access stream is consecutive addresses, so every L1I
+   access to the same line as the previous ifetch is a guaranteed
+   MRU-fast-path hit (``ways[0] == tag``: no LRU state change), and
+   every ITLB access to the same page is a guaranteed ``_last`` hit.
+   Only the *events* — the first access of a trace and each line/page
+   change, computed at build time — need real ``access()`` calls (at
+   their exact position in the stream, preserving shared-LLC ordering
+   against data misses); the rest are flushed as batched counter
+   increments.  With ``prefetch_next_line`` enabled, prefetch installs
+   can disturb LRU state between ifetches, so every L1I access becomes
+   an event (the trace-cache key includes the flag).
+
+3. **Write-to-exec-range invalidation.**  Every store is bounds-checked
+   against the executable ranges; the first write that lands in code
+   sets ``machine.code_dirty``, the engine seeds the reference decode
+   cache with exactly the instructions fetched so far (reference
+   semantics: stale decodes persist for already-fetched pcs), and
+   execution falls back to the inherited interpretive loop — still
+   bit-exact, including for self-modifying code.
+
+Per-instruction sampler/skid ticks, LBR records, branch-predictor
+updates and data-side cache/TLB accounting stay exact by construction:
+they run per step, in stream order, on the same model objects.
 """
 
+import weakref
+
 from repro.belf import BUILTIN_BASE
-from repro.isa import decode, DecodeError, RAX, RBP, RDI, RSP
+from repro.isa import decode, DecodeError, RAX, RSP
 from repro.isa.opcodes import Op, CondCode
-from repro.uarch.branch_predictor import BranchPredictor
-from repro.uarch.caches import Cache, TLB
+from repro.uarch._reference_cpu import (
+    _MASK,
+    _wrap,
+    ExecutionLimitExceeded,
+    ReferenceCPU,
+)
 from repro.uarch.config import UarchConfig
-from repro.uarch.counters import Counters
-from repro.uarch.lbr import LBR
 from repro.uarch.machine import Machine, MachineFault, EXIT_MAGIC
 
-_MASK = (1 << 64) - 1
+_U64 = 0xFFFFFFFFFFFFFFFF
+_SIGN = 0x8000000000000000
+_TWO64 = 0x10000000000000000
+
+#: Maximum instructions per cached trace.
+_TRACE_CAP = 256
+
+# Straight-line step kinds (hot ones first: executor dispatch is an
+# if/elif chain in this order).
+_K_LOAD = 0
+_K_MOV_RI = 1
+_K_MOV_RR = 2
+_K_ADD_RI = 3
+_K_ADD_RR = 4
+_K_STORE = 5
+_K_CMP_RI = 6
+_K_CMP_RR = 7
+_K_SUB_RR = 8
+_K_SUB_RI = 9
+_K_LEA = 10
+_K_LOADIDX = 11
+_K_STOREIDX = 12
+_K_PUSH = 13
+_K_POP = 14
+_K_IMUL_RR = 15
+_K_IMUL_RI = 16
+_K_AND_RR = 17
+_K_AND_RI = 18
+_K_OR_RR = 19
+_K_OR_RI = 20
+_K_XOR_RR = 21
+_K_XOR_RI = 22
+_K_SHL_RI = 23
+_K_SHR_RI = 24
+_K_SAR_RI = 25
+_K_SHL_RR = 26
+_K_SHR_RR = 27
+_K_SAR_RR = 28
+_K_NEG = 29
+_K_IDIV = 30
+_K_IMOD = 31
+_K_TEST_RR = 32
+_K_TEST_RI = 33
+_K_SETCC = 34
+_K_LOAD_ABS = 35
+_K_STORE_ABS = 36
+_K_OUT = 37
+_K_NOP = 38
+
+# Terminator kinds (separate dispatch space).
+_T_JCC = 0
+_T_JMP = 1
+_T_CALL = 2
+_T_CALL_REG = 3
+_T_CALL_MEM = 4
+_T_JMP_REG = 5
+_T_JMP_MEM = 6
+_T_RET = 7
+_T_HALT = 8
+_T_TRAP = 9
+_T_UNKNOWN = 10
+
+_CC_EQ = int(CondCode.EQ)
+_CC_NE = int(CondCode.NE)
+_CC_LT = int(CondCode.LT)
+_CC_LE = int(CondCode.LE)
+_CC_GT = int(CondCode.GT)
+_CC_GE = int(CondCode.GE)
+_CC_ULT = int(CondCode.ULT)
+_CC_ULE = int(CondCode.ULE)
+_CC_UGT = int(CondCode.UGT)
 
 
-def _wrap(value):
-    value &= _MASK
-    return value - (1 << 64) if value >= 1 << 63 else value
+def _cc_eval(cc, a, b):
+    """Condition evaluation, same chain as ReferenceCPU._cc_true."""
+    if cc == _CC_EQ:
+        return a == b
+    if cc == _CC_NE:
+        return a != b
+    if cc == _CC_LT:
+        return a < b
+    if cc == _CC_LE:
+        return a <= b
+    if cc == _CC_GT:
+        return a > b
+    if cc == _CC_GE:
+        return a >= b
+    ua, ub = a & _MASK, b & _MASK
+    if cc == _CC_ULT:
+        return ua < ub
+    if cc == _CC_ULE:
+        return ua <= ub
+    if cc == _CC_UGT:
+        return ua > ub
+    return ua >= ub
 
 
-class ExecutionLimitExceeded(Exception):
-    """The instruction budget ran out (likely an infinite loop)."""
+#: Binary -> {(line_size, page_size, prefetch): {entry_pc: trace}}.
+#: Traces describe the *pristine* code image, so they are valid for any
+#: Machine freshly loaded from the same Binary; machines whose code has
+#: been written (``machine.code_dirty``) stop using and feeding this.
+_TRACE_CACHES = weakref.WeakKeyDictionary()
 
 
-class CPU:
+def _shared_traces(binary, key):
+    try:
+        per_binary = _TRACE_CACHES.get(binary)
+        if per_binary is None:
+            per_binary = {}
+            _TRACE_CACHES[binary] = per_binary
+    except TypeError:           # un-weakref-able binary stand-in: no sharing
+        return {}
+    cache = per_binary.get(key)
+    if cache is None:
+        cache = {}
+        per_binary[key] = cache
+    return cache
+
+
+class BlockCPU(ReferenceCPU):
+    """Trace-cached engine; bit-exact with :class:`ReferenceCPU`."""
+
     def __init__(self, machine, config=None, sampler=None):
-        self.machine = machine
-        self.config = config or UarchConfig()
-        self.sampler = sampler
+        super().__init__(machine, config=config, sampler=sampler)
         cfg = self.config
-        self.counters = Counters()
-        self.l1i = Cache(cfg.l1i_size, cfg.l1i_assoc, cfg.line_size)
-        self.l1d = Cache(cfg.l1d_size, cfg.l1d_assoc, cfg.line_size)
-        self.l2 = (Cache(cfg.l2_size, cfg.l2_assoc, cfg.line_size)
-                   if cfg.l2_size else None)
-        self.llc = Cache(cfg.llc_size, cfg.llc_assoc, cfg.line_size)
-        self.itlb = TLB(cfg.itlb_entries, cfg.page_size)
-        self.dtlb = TLB(cfg.dtlb_entries, cfg.page_size)
-        self.bp = BranchPredictor(cfg.bp_table_bits, cfg.btb_entries,
-                                  cfg.ras_depth, kind=cfg.bp_kind)
-        self.lbr = LBR() if (sampler is not None and sampler.use_lbr) else None
+        self._traces = _shared_traces(
+            machine.binary,
+            (cfg.line_size, cfg.page_size, bool(cfg.prefetch_next_line)))
+        self._trace_fetched = {}    # entry pc -> instructions fetched
+        self._dirty_seeded = False
 
-        self.regs = [0] * 16
-        self.flag_a = 0
-        self.flag_b = 0
-        self.pc = machine.entry
-        self.halted = False
-        self.exit_code = None
-        self.output = []
-        self.fetch_heat = None      # optional: line-index -> fetch bytes count
+    # -- dirty-code fallback --------------------------------------------------
 
-        self._decode_cache = {}
-        self._sample_acc = 0
-        self._skid_remaining = -1
+    def _seed_decode_cache(self):
+        """Reproduce the reference decode cache at the dirty transition.
 
-        self.regs[RSP] = machine.initial_stack()
+        The reference interpreter never invalidates its per-CPU decode
+        cache, so after a code write, already-fetched pcs keep their
+        stale decodes while never-fetched pcs see the new bytes.  Seed
+        exactly the fetched prefix of every executed trace, then the
+        inherited interpretive loop behaves as if it had run all along.
+        """
+        if self._dirty_seeded:
+            return
+        self._dirty_seeded = True
+        dc = self._decode_cache
+        traces = self._traces
+        for entry, cnt in self._trace_fetched.items():
+            trace = traces.get(entry)
+            if trace is None:       # pragma: no cover - traces are never evicted
+                continue
+            pcs = trace[2]
+            insns = trace[4]
+            for j in range(cnt):
+                dc[pcs[j]] = insns[j]
+        self._trace_fetched.clear()
 
-    # -- memory with perf accounting -------------------------------------------
+    # -- data-side accounting (cold arms; hot arms inline this) ---------------
 
-    def _miss_path(self, addr):
-        """Cost of an L1 miss: optional private L2, then LLC, then DRAM."""
+    def _dacc(self, addr, pc, is_write):
+        if addr < 0:
+            kind = "write" if is_write else "read"
+            raise MachineFault(f"bad {kind} address {addr:#x} at pc={pc:#x}")
         c = self.counters
-        cfg = self.config
-        if self.l2 is not None:
-            c.l2_accesses += 1
-            if self.l2.access(addr):
-                return cfg.l2_hit_latency
-            c.l2_misses += 1
-        c.llc_accesses += 1
-        if self.llc.access(addr):
-            return cfg.l1_miss_penalty
-        c.llc_misses += 1
-        return cfg.llc_miss_penalty
-
-    def _data_access(self, addr, is_write):
-        c = self.counters
-        cycles = 0
+        cyc = 0
         c.dtlb_accesses += 1
         if not self.dtlb.access(addr):
             c.dtlb_misses += 1
-            cycles += self.config.tlb_miss_penalty
+            cyc += self.config.tlb_miss_penalty
         c.l1d_accesses += 1
         if not self.l1d.access(addr):
             c.l1d_misses += 1
-            cycles += self._miss_path(addr)
+            cyc += self._miss_path(addr)
         if is_write:
             c.mem_writes += 1
         else:
             c.mem_reads += 1
-        return cycles
+        return cyc
 
-    def _read_mem(self, addr):
-        if addr < 0:
-            raise MachineFault(f"bad read address {addr:#x} at pc={self.pc:#x}")
-        self._cycles += self._data_access(addr, False)
-        return self.machine.memory.read_word(addr)
+    # -- trace construction ---------------------------------------------------
 
-    def _write_mem(self, addr, value):
-        if addr < 0:
-            raise MachineFault(f"bad write address {addr:#x} at pc={self.pc:#x}")
-        self._cycles += self._data_access(addr, True)
-        self.machine.memory.write_word(addr, value)
+    def _build_trace(self, entry):
+        """Decode a straight-line run starting at ``entry``.
 
-    # -- fetch ---------------------------------------------------------------------
-
-    def _fetch(self, pc):
-        insn = self._decode_cache.get(pc)
-        if insn is None:
-            if not self.machine.is_executable_address(pc):
-                raise MachineFault(f"jump to non-executable address {pc:#x}")
-            data = self.machine.memory.read_bytes(pc, 16)
-            try:
-                insn = decode(data, 0, pc)
-            except DecodeError as exc:
-                raise MachineFault(str(exc)) from None
-            self._decode_cache[pc] = insn
-        c = self.counters
+        Returns ``(steps, term, pcs, sizes, insns, cum_ia, cum_evi,
+        cum_evp, fall_pc, total)``.  Raises MachineFault exactly when
+        the reference fetch of ``entry`` would (non-executable entry or
+        decode error); mid-trace fetch problems truncate the trace so
+        the fault is raised on the *next* trace build, preserving the
+        reference's raise timing.
+        """
+        machine = self.machine
+        memory = machine.memory
         cfg = self.config
-        c.itlb_accesses += 1
-        if not self.itlb.access(pc):
-            c.itlb_misses += 1
-            self._cycles += cfg.tlb_miss_penalty
-        c.l1i_accesses += 1
-        if not self.l1i.access(pc):
-            c.l1i_misses += 1
-            self._cycles += self._miss_path(pc)
-            if cfg.prefetch_next_line:
-                self.l1i.install(pc + cfg.line_size)
-        end = pc + insn.size - 1
-        if (end >> self.l1i.line_bits) != (pc >> self.l1i.line_bits):
-            c.l1i_accesses += 1
-            if not self.l1i.access(end):
-                c.l1i_misses += 1
-                self._cycles += self._miss_path(end)
-                if cfg.prefetch_next_line:
-                    self.l1i.install(end + cfg.line_size)
-        if self.fetch_heat is not None:
-            self.fetch_heat[pc] = self.fetch_heat.get(pc, 0) + insn.size
-        return insn
+        line_bits = self.l1i.line_bits
+        page_bits = self.itlb.page_bits
+        ev_all = cfg.prefetch_next_line
+        steps = []
+        pcs = []
+        sizes = []
+        insns = []
+        cum_ia = []
+        cum_evi = []
+        cum_evp = []
+        term = None
+        pc = entry
+        prev_line = None
+        prev_page = None
+        ia = evi = evp = 0
+        first = True
 
-    # -- condition codes ------------------------------------------------------------
-
-    def _cc_true(self, cc):
-        a, b = self.flag_a, self.flag_b
-        if cc == CondCode.EQ:
-            return a == b
-        if cc == CondCode.NE:
-            return a != b
-        if cc == CondCode.LT:
-            return a < b
-        if cc == CondCode.LE:
-            return a <= b
-        if cc == CondCode.GT:
-            return a > b
-        if cc == CondCode.GE:
-            return a >= b
-        ua, ub = a & _MASK, b & _MASK
-        if cc == CondCode.ULT:
-            return ua < ub
-        if cc == CondCode.ULE:
-            return ua <= ub
-        if cc == CondCode.UGT:
-            return ua > ub
-        return ua >= ub
-
-    # -- branches ----------------------------------------------------------------------
-
-    def _taken(self, from_pc, to_pc, mispred=False):
-        self.counters.taken_branches += 1
-        self._cycles += self.config.taken_branch_penalty
-        if self.lbr is not None:
-            self.lbr.record(from_pc, to_pc, mispred)
-
-    # -- builtins ------------------------------------------------------------------------
-
-    def _run_builtin(self, address):
-        if address == BUILTIN_BASE:  # __throw
-            self._unwind(self.regs[RDI])
-        else:
-            raise MachineFault(f"call to unknown builtin {address:#x}")
-
-    def _unwind(self, value):
-        """Frame-pointer unwinding using CFI-lite frame records."""
-        memory = self.machine.memory
-        records = self.machine.binary.frame_records
-        ra = memory.read_word(self.regs[RSP]) & _MASK
-        rbp = self.regs[RBP]
         while True:
-            if ra == EXIT_MAGIC:
-                raise MachineFault(f"uncaught exception (value={value})")
-            sym = self.machine.function_at(ra - 1)
-            if sym is None:
-                raise MachineFault(
-                    f"cannot unwind through unknown code at {ra:#x}")
-            record = records.get(sym.link_name())
-            if record is None:
-                raise MachineFault(
-                    f"cannot unwind through {sym.link_name()} (no frame info)")
-            lp = record.landing_pad_for(ra - 1 - sym.value)
-            if lp is not None:
-                self.regs[RAX] = value
-                self.regs[RBP] = rbp
-                self.regs[RSP] = _wrap(rbp - record.frame_size)
-                self.pc = sym.value + lp
-                return
-            for reg, offset in record.saved_regs:
-                self.regs[reg] = memory.read_word(rbp - offset)
-            ra = memory.read_word(rbp + 8) & _MASK
-            new_rbp = memory.read_word(rbp)
-            self.regs[RSP] = _wrap(rbp + 16)
-            rbp = new_rbp
+            if first:
+                first = False
+                if not machine.is_executable_address(pc):
+                    raise MachineFault(
+                        f"jump to non-executable address {pc:#x}")
+                try:
+                    insn = decode(memory.read_bytes(pc, 16), 0, pc)
+                except DecodeError as exc:
+                    raise MachineFault(str(exc)) from None
+            else:
+                if not machine.is_executable_address(pc):
+                    break
+                try:
+                    insn = decode(memory.read_bytes(pc, 16), 0, pc)
+                except DecodeError:
+                    break
+            size = insn.size
 
-    # -- main loop -------------------------------------------------------------------------
+            # Fetch events: accesses whose line/page differs from the
+            # previous ifetch access must be real access() calls.
+            ev = []
+            page = pc >> page_bits
+            if page != prev_page:
+                ev.append((0, pc))
+                evp += 1
+                prev_page = page
+            line = pc >> line_bits
+            n_ia = 1
+            if ev_all or line != prev_line:
+                ev.append((1, pc))
+                evi += 1
+            prev_line = line
+            end = pc + size - 1
+            end_line = end >> line_bits
+            if end_line != line:
+                n_ia = 2
+                ev.append((1, end))
+                evi += 1
+                prev_line = end_line
+            ia += n_ia
+            fev = tuple(ev) if ev else None
+
+            pcs.append(pc)
+            sizes.append(size)
+            insns.append(insn)
+            cum_ia.append(ia)
+            cum_evi.append(evi)
+            cum_evp.append(evp)
+
+            op = insn.op
+            npc = pc + size
+            prepped = _prep_straight(op, insn)
+            if prepped is None:
+                term = _prep_term(op, insn, pc, npc, fev)
+                break
+            k, a, b, c, d = prepped
+            steps.append((k, a, b, c, d, pc, fev))
+            # A fallthrough into the builtin region cannot occur for
+            # linked binaries (code sits far below BUILTIN_BASE), but
+            # truncate defensively rather than mis-handle it.
+            if npc >= BUILTIN_BASE or len(steps) >= _TRACE_CAP:
+                break
+            pc = npc
+
+        fall_pc = pcs[-1] + sizes[-1]
+        return (steps, term, pcs, sizes, insns, cum_ia, cum_evi, cum_evp,
+                fall_pc, len(pcs))
+
+    # -- main loop ------------------------------------------------------------
 
     def run(self, max_instructions=50_000_000):
         """Run until halt; returns the exit code (rax at exit)."""
+        machine = self.machine
+        if machine.code_dirty:
+            self._seed_decode_cache()
+            return ReferenceCPU.run(self, max_instructions)
+        if self.halted:
+            return self.exit_code
+
         regs = self.regs
-        memory = self.machine.memory
         counters = self.counters
         cfg = self.config
+        memory = machine.memory
+        read_word = memory.read_word
+        write_word = memory.write_word
+        l1i = self.l1i
+        itlb = self.itlb
+        l1i_access = l1i.access
+        itlb_access = itlb.access
+        dtlb_access = self.dtlb.access
+        l1d_access = self.l1d.access
+        bp = self.bp
+        lbr = self.lbr
+        sampler = self.sampler
+        out_append = self.output.append
+        base_cpi = int(cfg.base_cpi)
+        taken_pen = cfg.taken_branch_penalty
+        mispred_pen = cfg.mispredict_penalty
+        tlb_pen = cfg.tlb_miss_penalty
+        line_size = cfg.line_size
+        prefetch = cfg.prefetch_next_line
+        exec_lo, exec_hi = machine.exec_bounds()
+        traces = self._traces
+        tf = self._trace_fetched
+        fetch_heat = self.fetch_heat
+        rsp_i = RSP
+        rax_i = RAX
+        builtin_base = BUILTIN_BASE
+        exit_magic = EXIT_MAGIC
         remaining = max_instructions
 
-        while not self.halted:
+        fa = self.flag_a
+        fb = self.flag_b
+        acc = skid_rem = last_taken = 0
+        if sampler is not None:
+            take_sample = sampler.take_sample
+            ev_name = sampler.event
+            s_event = (0 if ev_name == "cycles"
+                       else 1 if ev_name == "instructions" else 2)
+            s_period = sampler.period
+            s_skid = sampler.skid
+            acc = self._sample_acc
+            skid_rem = self._skid_remaining
+            last_taken = getattr(self, "_last_taken", 0)
+
+            def tick(tpc, tcyc):
+                nonlocal acc, skid_rem, last_taken
+                if s_event == 0:
+                    acc += tcyc
+                elif s_event == 1:
+                    acc += 1
+                else:
+                    tb = counters.taken_branches
+                    acc += tb - last_taken
+                    last_taken = tb
+                if skid_rem >= 0:
+                    if skid_rem == 0:
+                        take_sample(
+                            tpc, lbr.snapshot() if lbr is not None else None)
+                        skid_rem = -1
+                    else:
+                        skid_rem -= 1
+                if acc >= s_period:
+                    acc -= s_period
+                    if s_skid <= 0:
+                        take_sample(
+                            tpc, lbr.snapshot() if lbr is not None else None)
+                    else:
+                        skid_rem = s_skid - 1
+
+        def sync():
+            self.flag_a = fa
+            self.flag_b = fb
+            if sampler is not None:
+                self._sample_acc = acc
+                self._skid_remaining = skid_rem
+                self._last_taken = last_taken
+
+        while True:
             if remaining <= 0:
+                sync()
                 raise ExecutionLimitExceeded(
-                    f"exceeded {max_instructions} instructions at pc={self.pc:#x}")
-            remaining -= 1
-            self._cycles = 0
-            pc = self.pc
-            insn = self._fetch(pc)
-            op = insn.op
-            next_pc = pc + insn.size
-            counters.instructions += 1
-
-            if op == Op.MOV_RR:
-                regs[insn.regs[0]] = regs[insn.regs[1]]
-            elif op == Op.MOV_RI32 or op == Op.MOV_RI64:
-                regs[insn.regs[0]] = insn.imm
-            elif op == Op.LOAD:
-                regs[insn.regs[0]] = self._read_mem(regs[insn.regs[1]] + insn.disp)
-            elif op == Op.STORE:
-                self._write_mem(regs[insn.regs[0]] + insn.disp, regs[insn.regs[1]])
-            elif op == Op.LOAD_ABS:
-                regs[insn.regs[0]] = self._read_mem(insn.addr)
-            elif op == Op.STORE_ABS:
-                self._write_mem(insn.addr, regs[insn.regs[0]])
-            elif op == Op.LOADIDX:
-                addr = regs[insn.regs[1]] + 8 * regs[insn.regs[2]] + insn.disp
-                regs[insn.regs[0]] = self._read_mem(addr)
-            elif op == Op.STOREIDX:
-                addr = regs[insn.regs[0]] + 8 * regs[insn.regs[1]] + insn.disp
-                self._write_mem(addr, regs[insn.regs[2]])
-            elif op == Op.LEA:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[1]] + insn.disp)
-            elif op == Op.ADD_RR:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] + regs[insn.regs[1]])
-            elif op == Op.ADD_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] + insn.imm)
-            elif op == Op.SUB_RR:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] - regs[insn.regs[1]])
-            elif op == Op.SUB_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] - insn.imm)
-            elif op == Op.IMUL_RR:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] * regs[insn.regs[1]])
-            elif op == Op.IMUL_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] * insn.imm)
-            elif op == Op.AND_RR:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] & regs[insn.regs[1]])
-            elif op == Op.AND_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] & insn.imm)
-            elif op == Op.OR_RR:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] | regs[insn.regs[1]])
-            elif op == Op.OR_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] | insn.imm)
-            elif op == Op.XOR_RR:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] ^ regs[insn.regs[1]])
-            elif op == Op.XOR_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] ^ insn.imm)
-            elif op == Op.SHL_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] << (insn.imm & 63))
-            elif op == Op.SHR_RI:
-                regs[insn.regs[0]] = _wrap(
-                    (regs[insn.regs[0]] & _MASK) >> (insn.imm & 63))
-            elif op == Op.SAR_RI:
-                regs[insn.regs[0]] = _wrap(regs[insn.regs[0]] >> (insn.imm & 63))
-            elif op == Op.SHL_RR:
-                regs[insn.regs[0]] = _wrap(
-                    regs[insn.regs[0]] << (regs[insn.regs[1]] & 63))
-            elif op == Op.SHR_RR:
-                regs[insn.regs[0]] = _wrap(
-                    (regs[insn.regs[0]] & _MASK) >> (regs[insn.regs[1]] & 63))
-            elif op == Op.SAR_RR:
-                regs[insn.regs[0]] = _wrap(
-                    regs[insn.regs[0]] >> (regs[insn.regs[1]] & 63))
-            elif op == Op.NEG:
-                regs[insn.regs[0]] = _wrap(-regs[insn.regs[0]])
-            elif op == Op.IDIV_RR or op == Op.IMOD_RR:
-                divisor = regs[insn.regs[1]]
-                if divisor == 0:
-                    raise MachineFault(f"division by zero at pc={pc:#x}")
-                dividend = regs[insn.regs[0]]
-                quotient = abs(dividend) // abs(divisor)
-                if (dividend < 0) != (divisor < 0):
-                    quotient = -quotient
-                if op == Op.IDIV_RR:
-                    regs[insn.regs[0]] = _wrap(quotient)
-                else:
-                    regs[insn.regs[0]] = _wrap(dividend - quotient * divisor)
-            elif op == Op.CMP_RR:
-                self.flag_a = regs[insn.regs[0]]
-                self.flag_b = regs[insn.regs[1]]
-            elif op == Op.CMP_RI:
-                self.flag_a = regs[insn.regs[0]]
-                self.flag_b = insn.imm
-            elif op == Op.TEST_RR:
-                self.flag_a = _wrap(regs[insn.regs[0]] & regs[insn.regs[1]])
-                self.flag_b = 0
-            elif op == Op.TEST_RI:
-                self.flag_a = _wrap(regs[insn.regs[0]] & insn.imm)
-                self.flag_b = 0
-            elif op == Op.SETCC:
-                regs[insn.regs[0]] = 1 if self._cc_true(CondCode(insn.imm)) else 0
-            elif op == Op.PUSH:
-                regs[RSP] = _wrap(regs[RSP] - 8)
-                self._write_mem(regs[RSP], regs[insn.regs[0]])
-            elif op == Op.POP:
-                regs[insn.regs[0]] = self._read_mem(regs[RSP])
-                regs[RSP] = _wrap(regs[RSP] + 8)
-            elif op == Op.JCC_SHORT or op == Op.JCC_LONG:
-                counters.cond_branches += 1
-                taken = self._cc_true(insn.cc)
-                correct = self.bp.update_cond(pc, taken)
-                if not correct:
-                    counters.branch_misses += 1
-                    self._cycles += cfg.mispredict_penalty
-                if taken:
-                    counters.cond_taken += 1
-                    self._taken(pc, insn.target, not correct)
-                    next_pc = insn.target
-            elif op == Op.JMP_SHORT or op == Op.JMP_NEAR:
-                counters.uncond_branches += 1
-                self._taken(pc, insn.target)
-                next_pc = insn.target
-            elif op == Op.CALL:
-                counters.calls += 1
-                regs[RSP] = _wrap(regs[RSP] - 8)
-                self._write_mem(regs[RSP], next_pc)
-                self.bp.push_return(next_pc)
-                self._taken(pc, insn.target)
-                next_pc = insn.target
-            elif op == Op.CALL_REG or op == Op.CALL_MEM:
-                counters.calls += 1
-                counters.indirect_branches += 1
-                if op == Op.CALL_REG:
-                    target = regs[insn.regs[0]] & _MASK
-                else:
-                    target = self._read_mem(insn.addr) & _MASK
-                correct = self.bp.predict_indirect(pc, target)
-                if not correct:
-                    counters.branch_misses += 1
-                    self._cycles += cfg.mispredict_penalty
-                regs[RSP] = _wrap(regs[RSP] - 8)
-                self._write_mem(regs[RSP], next_pc)
-                self.bp.push_return(next_pc)
-                self._taken(pc, target, not correct)
-                next_pc = target
-            elif op == Op.JMP_REG or op == Op.JMP_MEM:
-                counters.uncond_branches += 1
-                counters.indirect_branches += 1
-                if op == Op.JMP_REG:
-                    target = regs[insn.regs[0]] & _MASK
-                else:
-                    target = self._read_mem(insn.addr) & _MASK
-                correct = self.bp.predict_indirect(pc, target)
-                if not correct:
-                    counters.branch_misses += 1
-                    self._cycles += cfg.mispredict_penalty
-                self._taken(pc, target, not correct)
-                next_pc = target
-            elif op == Op.RET or op == Op.REPZ_RET:
-                counters.returns += 1
-                target = self._read_mem(regs[RSP]) & _MASK
-                regs[RSP] = _wrap(regs[RSP] + 8)
-                correct = self.bp.predict_return(target)
-                if not correct:
-                    counters.branch_misses += 1
-                    self._cycles += cfg.mispredict_penalty
-                if target == EXIT_MAGIC:
-                    self.halted = True
-                    self.exit_code = regs[RAX]
-                    next_pc = pc
-                else:
-                    self._taken(pc, target, not correct)
-                    next_pc = target
-            elif op == Op.OUT:
-                self.output.append(regs[insn.regs[0]])
-            elif op == Op.NOP or op == Op.NOPN:
-                pass
-            elif op == Op.HALT:
-                self.halted = True
-                self.exit_code = regs[RAX]
-                next_pc = pc
-            elif op == Op.TRAP:
-                raise MachineFault(f"trap at pc={pc:#x}")
-            else:  # pragma: no cover
-                raise MachineFault(f"unimplemented opcode {op!r} at {pc:#x}")
-
-            cycles = int(cfg.base_cpi) + self._cycles
-            counters.cycles += cycles
-
-            # Builtin interception: transfers into the builtin region run
-            # natively (e.g. __throw performs unwinding and sets self.pc).
-            if next_pc >= BUILTIN_BASE and not self.halted:
-                self.pc = next_pc
-                self._run_builtin(next_pc)
-                # _unwind set self.pc to the landing pad / handler.
+                    f"exceeded {max_instructions} instructions"
+                    f" at pc={self.pc:#x}")
+            entry = self.pc
+            trace = traces.get(entry)
+            if trace is None:
+                try:
+                    trace = self._build_trace(entry)
+                except MachineFault:
+                    sync()
+                    raise
+                traces[entry] = trace
+            (steps, term, pcs, sizes, insns, cum_ia, cum_evi, cum_evp,
+             fall_pc, total) = trace
+            n_straight = total if term is None else total - 1
+            if remaining >= total:
+                count = total
+                run_steps = steps
             else:
-                self.pc = next_pc
+                count = remaining
+                run_steps = steps if count >= n_straight else steps[:count]
+            done = 0
+            cyc_total = 0
+            bail = False
+            executed_term = False
+            pc = entry
 
-            if self.sampler is not None:
-                self._sampler_tick(pc, cycles)
+            try:
+                for st in run_steps:
+                    k, a, b, c, d, pc, fev = st
+                    cyc = 0
+                    if fev is not None:
+                        for ek, eaddr in fev:
+                            if ek:
+                                if not l1i_access(eaddr):
+                                    counters.l1i_misses += 1
+                                    cyc += self._miss_path(eaddr)
+                                    if prefetch:
+                                        l1i.install(eaddr + line_size)
+                            elif not itlb_access(eaddr):
+                                counters.itlb_misses += 1
+                                cyc += tlb_pen
 
-        return self.exit_code
+                    if k == 0:          # LOAD
+                        addr = regs[b] + c
+                        if addr < 0:
+                            raise MachineFault(
+                                f"bad read address {addr:#x} at pc={pc:#x}")
+                        counters.dtlb_accesses += 1
+                        if not dtlb_access(addr):
+                            counters.dtlb_misses += 1
+                            cyc += tlb_pen
+                        counters.l1d_accesses += 1
+                        if not l1d_access(addr):
+                            counters.l1d_misses += 1
+                            cyc += self._miss_path(addr)
+                        counters.mem_reads += 1
+                        regs[a] = read_word(addr)
+                    elif k == 1:        # MOV_RI32 / MOV_RI64
+                        regs[a] = b
+                    elif k == 2:        # MOV_RR
+                        regs[a] = regs[b]
+                    elif k == 3:        # ADD_RI
+                        v = (regs[a] + b) & _U64
+                        regs[a] = v - _TWO64 if v >= _SIGN else v
+                    elif k == 4:        # ADD_RR
+                        v = (regs[a] + regs[b]) & _U64
+                        regs[a] = v - _TWO64 if v >= _SIGN else v
+                    elif k == 5:        # STORE
+                        addr = regs[a] + b
+                        if addr < 0:
+                            raise MachineFault(
+                                f"bad write address {addr:#x} at pc={pc:#x}")
+                        counters.dtlb_accesses += 1
+                        if not dtlb_access(addr):
+                            counters.dtlb_misses += 1
+                            cyc += tlb_pen
+                        counters.l1d_accesses += 1
+                        if not l1d_access(addr):
+                            counters.l1d_misses += 1
+                            cyc += self._miss_path(addr)
+                        counters.mem_writes += 1
+                        write_word(addr, regs[c])
+                        if (addr < exec_hi and addr + 8 > exec_lo
+                                and machine.code_write_check(addr)):
+                            bail = True
+                    elif k == 6:        # CMP_RI
+                        fa = regs[a]
+                        fb = b
+                    elif k == 7:        # CMP_RR
+                        fa = regs[a]
+                        fb = regs[b]
+                    elif k == 8:        # SUB_RR
+                        v = (regs[a] - regs[b]) & _U64
+                        regs[a] = v - _TWO64 if v >= _SIGN else v
+                    elif k == 9:        # SUB_RI
+                        v = (regs[a] - b) & _U64
+                        regs[a] = v - _TWO64 if v >= _SIGN else v
+                    elif k == 10:       # LEA
+                        v = (regs[b] + c) & _U64
+                        regs[a] = v - _TWO64 if v >= _SIGN else v
+                    elif k == 11:       # LOADIDX
+                        addr = regs[b] + 8 * regs[c] + d
+                        cyc += self._dacc(addr, pc, False)
+                        regs[a] = read_word(addr)
+                    elif k == 12:       # STOREIDX
+                        addr = regs[a] + 8 * regs[b] + c
+                        cyc += self._dacc(addr, pc, True)
+                        write_word(addr, regs[d])
+                        if (addr < exec_hi and addr + 8 > exec_lo
+                                and machine.code_write_check(addr)):
+                            bail = True
+                    elif k == 13:       # PUSH
+                        rsp = _wrap(regs[rsp_i] - 8)
+                        regs[rsp_i] = rsp
+                        cyc += self._dacc(rsp, pc, True)
+                        write_word(rsp, regs[a])
+                        if (rsp < exec_hi and rsp + 8 > exec_lo
+                                and machine.code_write_check(rsp)):
+                            bail = True
+                    elif k == 14:       # POP
+                        rsp = regs[rsp_i]
+                        cyc += self._dacc(rsp, pc, False)
+                        regs[a] = read_word(rsp)
+                        regs[rsp_i] = _wrap(rsp + 8)
+                    elif k == 15:       # IMUL_RR
+                        regs[a] = _wrap(regs[a] * regs[b])
+                    elif k == 16:       # IMUL_RI
+                        regs[a] = _wrap(regs[a] * b)
+                    elif k == 17:       # AND_RR
+                        regs[a] = _wrap(regs[a] & regs[b])
+                    elif k == 18:       # AND_RI
+                        regs[a] = _wrap(regs[a] & b)
+                    elif k == 19:       # OR_RR
+                        regs[a] = _wrap(regs[a] | regs[b])
+                    elif k == 20:       # OR_RI
+                        regs[a] = _wrap(regs[a] | b)
+                    elif k == 21:       # XOR_RR
+                        regs[a] = _wrap(regs[a] ^ regs[b])
+                    elif k == 22:       # XOR_RI
+                        regs[a] = _wrap(regs[a] ^ b)
+                    elif k == 23:       # SHL_RI
+                        regs[a] = _wrap(regs[a] << (b & 63))
+                    elif k == 24:       # SHR_RI
+                        regs[a] = _wrap((regs[a] & _MASK) >> (b & 63))
+                    elif k == 25:       # SAR_RI
+                        regs[a] = _wrap(regs[a] >> (b & 63))
+                    elif k == 26:       # SHL_RR
+                        regs[a] = _wrap(regs[a] << (regs[b] & 63))
+                    elif k == 27:       # SHR_RR
+                        regs[a] = _wrap((regs[a] & _MASK) >> (regs[b] & 63))
+                    elif k == 28:       # SAR_RR
+                        regs[a] = _wrap(regs[a] >> (regs[b] & 63))
+                    elif k == 29:       # NEG
+                        regs[a] = _wrap(-regs[a])
+                    elif k == 30 or k == 31:    # IDIV_RR / IMOD_RR
+                        divisor = regs[b]
+                        if divisor == 0:
+                            raise MachineFault(
+                                f"division by zero at pc={pc:#x}")
+                        dividend = regs[a]
+                        quotient = abs(dividend) // abs(divisor)
+                        if (dividend < 0) != (divisor < 0):
+                            quotient = -quotient
+                        if k == 30:
+                            regs[a] = _wrap(quotient)
+                        else:
+                            regs[a] = _wrap(dividend - quotient * divisor)
+                    elif k == 32:       # TEST_RR
+                        fa = _wrap(regs[a] & regs[b])
+                        fb = 0
+                    elif k == 33:       # TEST_RI
+                        fa = _wrap(regs[a] & b)
+                        fb = 0
+                    elif k == 34:       # SETCC
+                        regs[a] = 1 if _cc_eval(int(CondCode(b)), fa, fb) else 0
+                    elif k == 35:       # LOAD_ABS
+                        cyc += self._dacc(b, pc, False)
+                        regs[a] = read_word(b)
+                    elif k == 36:       # STORE_ABS
+                        cyc += self._dacc(a, pc, True)
+                        write_word(a, regs[b])
+                        if (a < exec_hi and a + 8 > exec_lo
+                                and machine.code_write_check(a)):
+                            bail = True
+                    elif k == 37:       # OUT
+                        out_append(regs[a])
+                    # k == 38: NOP / NOPN
 
-    def _sampler_tick(self, pc, cycles):
-        sampler = self.sampler
-        event = sampler.event
-        if event == "cycles":
-            self._sample_acc += cycles
-        elif event == "instructions":
-            self._sample_acc += 1
-        else:  # taken-branches: approximate via counter delta
-            acc = self.counters.taken_branches
-            delta = acc - getattr(self, "_last_taken", 0)
-            self._last_taken = acc
-            self._sample_acc += delta
-        if self._skid_remaining >= 0:
-            if self._skid_remaining == 0:
-                sampler.take_sample(
-                    pc, self.lbr.snapshot() if self.lbr is not None else None)
-                self._skid_remaining = -1
+                    cyc += base_cpi
+                    cyc_total += cyc
+                    done += 1
+                    if sampler is not None:
+                        tick(pc, cyc)
+                    if bail:
+                        break
+
+                if term is not None and not bail and count == total:
+                    tk, a, b, pc, npc, fev = term
+                    cyc = 0
+                    if fev is not None:
+                        for ek, eaddr in fev:
+                            if ek:
+                                if not l1i_access(eaddr):
+                                    counters.l1i_misses += 1
+                                    cyc += self._miss_path(eaddr)
+                                    if prefetch:
+                                        l1i.install(eaddr + line_size)
+                            elif not itlb_access(eaddr):
+                                counters.itlb_misses += 1
+                                cyc += tlb_pen
+
+                    if tk == 0:         # JCC_SHORT / JCC_LONG
+                        counters.cond_branches += 1
+                        taken = _cc_eval(a, fa, fb)
+                        correct = bp.update_cond(pc, taken)
+                        if not correct:
+                            counters.branch_misses += 1
+                            cyc += mispred_pen
+                        if taken:
+                            counters.cond_taken += 1
+                            counters.taken_branches += 1
+                            cyc += taken_pen
+                            if lbr is not None:
+                                lbr.record(pc, b, not correct)
+                            npc = b
+                    elif tk == 7:       # RET / REPZ_RET
+                        counters.returns += 1
+                        rsp = regs[rsp_i]
+                        cyc += self._dacc(rsp, pc, False)
+                        target = read_word(rsp) & _MASK
+                        regs[rsp_i] = _wrap(rsp + 8)
+                        correct = bp.predict_return(target)
+                        if not correct:
+                            counters.branch_misses += 1
+                            cyc += mispred_pen
+                        if target == exit_magic:
+                            self.halted = True
+                            self.exit_code = regs[rax_i]
+                            npc = pc
+                        else:
+                            counters.taken_branches += 1
+                            cyc += taken_pen
+                            if lbr is not None:
+                                lbr.record(pc, target, not correct)
+                            npc = target
+                    elif tk == 2:       # CALL
+                        counters.calls += 1
+                        rsp = _wrap(regs[rsp_i] - 8)
+                        regs[rsp_i] = rsp
+                        cyc += self._dacc(rsp, pc, True)
+                        write_word(rsp, npc)
+                        if rsp < exec_hi and rsp + 8 > exec_lo:
+                            machine.code_write_check(rsp)
+                        bp.push_return(npc)
+                        counters.taken_branches += 1
+                        cyc += taken_pen
+                        if lbr is not None:
+                            lbr.record(pc, a, False)
+                        npc = a
+                    elif tk == 1:       # JMP_SHORT / JMP_NEAR
+                        counters.uncond_branches += 1
+                        counters.taken_branches += 1
+                        cyc += taken_pen
+                        if lbr is not None:
+                            lbr.record(pc, a, False)
+                        npc = a
+                    elif tk == 3 or tk == 4:    # CALL_REG / CALL_MEM
+                        counters.calls += 1
+                        counters.indirect_branches += 1
+                        if tk == 3:
+                            target = regs[a] & _MASK
+                        else:
+                            cyc += self._dacc(a, pc, False)
+                            target = read_word(a) & _MASK
+                        correct = bp.predict_indirect(pc, target)
+                        if not correct:
+                            counters.branch_misses += 1
+                            cyc += mispred_pen
+                        rsp = _wrap(regs[rsp_i] - 8)
+                        regs[rsp_i] = rsp
+                        cyc += self._dacc(rsp, pc, True)
+                        write_word(rsp, npc)
+                        if rsp < exec_hi and rsp + 8 > exec_lo:
+                            machine.code_write_check(rsp)
+                        bp.push_return(npc)
+                        counters.taken_branches += 1
+                        cyc += taken_pen
+                        if lbr is not None:
+                            lbr.record(pc, target, not correct)
+                        npc = target
+                    elif tk == 5 or tk == 6:    # JMP_REG / JMP_MEM
+                        counters.uncond_branches += 1
+                        counters.indirect_branches += 1
+                        if tk == 5:
+                            target = regs[a] & _MASK
+                        else:
+                            cyc += self._dacc(a, pc, False)
+                            target = read_word(a) & _MASK
+                        correct = bp.predict_indirect(pc, target)
+                        if not correct:
+                            counters.branch_misses += 1
+                            cyc += mispred_pen
+                        counters.taken_branches += 1
+                        cyc += taken_pen
+                        if lbr is not None:
+                            lbr.record(pc, target, not correct)
+                        npc = target
+                    elif tk == 8:       # HALT
+                        self.halted = True
+                        self.exit_code = regs[rax_i]
+                        npc = pc
+                    elif tk == 9:       # TRAP
+                        raise MachineFault(f"trap at pc={pc:#x}")
+                    else:               # pragma: no cover
+                        raise MachineFault(
+                            f"unimplemented opcode {a!r} at {pc:#x}")
+
+                    cyc += base_cpi
+                    cyc_total += cyc
+                    done += 1
+                    executed_term = True
+                    term_pc = pc
+                    term_cyc = cyc
+            except MachineFault:
+                # Dispatch-phase fault at `pc`: the reference counts the
+                # faulting instruction (fetched) but not its cycles.
+                counters.instructions += done + 1
+                counters.cycles += cyc_total
+                idx = done
+                counters.l1i_accesses += cum_ia[idx]
+                l1i.accesses += cum_ia[idx] - cum_evi[idx]
+                counters.itlb_accesses += idx + 1
+                itlb.accesses += idx + 1 - cum_evp[idx]
+                if fetch_heat is not None:
+                    for j in range(idx + 1):
+                        p = pcs[j]
+                        fetch_heat[p] = fetch_heat.get(p, 0) + sizes[j]
+                if done + 1 > tf.get(entry, 0):
+                    tf[entry] = done + 1
+                self.pc = pc
+                sync()
+                raise
+
+            # Flush block-batched accounting for the `done` completed steps.
+            counters.instructions += done
+            counters.cycles += cyc_total
+            if done:
+                idx = done - 1
+                counters.l1i_accesses += cum_ia[idx]
+                l1i.accesses += cum_ia[idx] - cum_evi[idx]
+                counters.itlb_accesses += done
+                itlb.accesses += done - cum_evp[idx]
+                if fetch_heat is not None:
+                    for j in range(done):
+                        p = pcs[j]
+                        fetch_heat[p] = fetch_heat.get(p, 0) + sizes[j]
+                if done > tf.get(entry, 0):
+                    tf[entry] = done
+            remaining -= done
+
+            if executed_term:
+                if npc >= builtin_base and not self.halted:
+                    self.pc = npc
+                    sync()
+                    self._run_builtin(npc)  # may raise; sets self.pc on return
+                else:
+                    self.pc = npc
+                if sampler is not None:
+                    tick(term_pc, term_cyc)
+                if self.halted:
+                    sync()
+                    return self.exit_code
             else:
-                self._skid_remaining -= 1
-        if self._sample_acc >= sampler.period:
-            self._sample_acc -= sampler.period
-            if sampler.skid <= 0:
-                sampler.take_sample(
-                    pc, self.lbr.snapshot() if self.lbr is not None else None)
-            else:
-                self._skid_remaining = sampler.skid - 1
+                self.pc = pcs[done] if done < total else fall_pc
+
+            if machine.code_dirty:
+                sync()
+                self._seed_decode_cache()
+                try:
+                    return ReferenceCPU.run(self, remaining)
+                except ExecutionLimitExceeded:
+                    raise ExecutionLimitExceeded(
+                        f"exceeded {max_instructions} instructions"
+                        f" at pc={self.pc:#x}") from None
+
+
+def _prep_straight(op, insn):
+    """(kind, a, b, c, d) for a straight-line op; None for terminators."""
+    r = insn.regs
+    if op == Op.LOAD:
+        return (_K_LOAD, r[0], r[1], insn.disp, 0)
+    if op == Op.MOV_RI32 or op == Op.MOV_RI64:
+        return (_K_MOV_RI, r[0], insn.imm, 0, 0)
+    if op == Op.MOV_RR:
+        return (_K_MOV_RR, r[0], r[1], 0, 0)
+    if op == Op.ADD_RI:
+        return (_K_ADD_RI, r[0], insn.imm, 0, 0)
+    if op == Op.ADD_RR:
+        return (_K_ADD_RR, r[0], r[1], 0, 0)
+    if op == Op.STORE:
+        return (_K_STORE, r[0], insn.disp, r[1], 0)
+    if op == Op.CMP_RI:
+        return (_K_CMP_RI, r[0], insn.imm, 0, 0)
+    if op == Op.CMP_RR:
+        return (_K_CMP_RR, r[0], r[1], 0, 0)
+    if op == Op.SUB_RR:
+        return (_K_SUB_RR, r[0], r[1], 0, 0)
+    if op == Op.SUB_RI:
+        return (_K_SUB_RI, r[0], insn.imm, 0, 0)
+    if op == Op.LEA:
+        return (_K_LEA, r[0], r[1], insn.disp, 0)
+    if op == Op.LOADIDX:
+        return (_K_LOADIDX, r[0], r[1], r[2], insn.disp)
+    if op == Op.STOREIDX:
+        return (_K_STOREIDX, r[0], r[1], insn.disp, r[2])
+    if op == Op.PUSH:
+        return (_K_PUSH, r[0], 0, 0, 0)
+    if op == Op.POP:
+        return (_K_POP, r[0], 0, 0, 0)
+    if op == Op.IMUL_RR:
+        return (_K_IMUL_RR, r[0], r[1], 0, 0)
+    if op == Op.IMUL_RI:
+        return (_K_IMUL_RI, r[0], insn.imm, 0, 0)
+    if op == Op.AND_RR:
+        return (_K_AND_RR, r[0], r[1], 0, 0)
+    if op == Op.AND_RI:
+        return (_K_AND_RI, r[0], insn.imm, 0, 0)
+    if op == Op.OR_RR:
+        return (_K_OR_RR, r[0], r[1], 0, 0)
+    if op == Op.OR_RI:
+        return (_K_OR_RI, r[0], insn.imm, 0, 0)
+    if op == Op.XOR_RR:
+        return (_K_XOR_RR, r[0], r[1], 0, 0)
+    if op == Op.XOR_RI:
+        return (_K_XOR_RI, r[0], insn.imm, 0, 0)
+    if op == Op.SHL_RI:
+        return (_K_SHL_RI, r[0], insn.imm, 0, 0)
+    if op == Op.SHR_RI:
+        return (_K_SHR_RI, r[0], insn.imm, 0, 0)
+    if op == Op.SAR_RI:
+        return (_K_SAR_RI, r[0], insn.imm, 0, 0)
+    if op == Op.SHL_RR:
+        return (_K_SHL_RR, r[0], r[1], 0, 0)
+    if op == Op.SHR_RR:
+        return (_K_SHR_RR, r[0], r[1], 0, 0)
+    if op == Op.SAR_RR:
+        return (_K_SAR_RR, r[0], r[1], 0, 0)
+    if op == Op.NEG:
+        return (_K_NEG, r[0], 0, 0, 0)
+    if op == Op.IDIV_RR:
+        return (_K_IDIV, r[0], r[1], 0, 0)
+    if op == Op.IMOD_RR:
+        return (_K_IMOD, r[0], r[1], 0, 0)
+    if op == Op.TEST_RR:
+        return (_K_TEST_RR, r[0], r[1], 0, 0)
+    if op == Op.TEST_RI:
+        return (_K_TEST_RI, r[0], insn.imm, 0, 0)
+    if op == Op.SETCC:
+        return (_K_SETCC, r[0], insn.imm, 0, 0)
+    if op == Op.LOAD_ABS:
+        return (_K_LOAD_ABS, r[0], insn.addr, 0, 0)
+    if op == Op.STORE_ABS:
+        return (_K_STORE_ABS, insn.addr, r[0], 0, 0)
+    if op == Op.OUT:
+        return (_K_OUT, r[0], 0, 0, 0)
+    if op == Op.NOP or op == Op.NOPN:
+        return (_K_NOP, 0, 0, 0, 0)
+    return None
+
+
+def _prep_term(op, insn, pc, npc, fev):
+    """Terminator step tuple ``(kind, a, b, pc, npc, fev)``."""
+    if op == Op.JCC_SHORT or op == Op.JCC_LONG:
+        return (_T_JCC, int(insn.cc), insn.target, pc, npc, fev)
+    if op == Op.JMP_SHORT or op == Op.JMP_NEAR:
+        return (_T_JMP, insn.target, 0, pc, npc, fev)
+    if op == Op.CALL:
+        return (_T_CALL, insn.target, 0, pc, npc, fev)
+    if op == Op.CALL_REG:
+        return (_T_CALL_REG, insn.regs[0], 0, pc, npc, fev)
+    if op == Op.CALL_MEM:
+        return (_T_CALL_MEM, insn.addr, 0, pc, npc, fev)
+    if op == Op.JMP_REG:
+        return (_T_JMP_REG, insn.regs[0], 0, pc, npc, fev)
+    if op == Op.JMP_MEM:
+        return (_T_JMP_MEM, insn.addr, 0, pc, npc, fev)
+    if op == Op.RET or op == Op.REPZ_RET:
+        return (_T_RET, 0, 0, pc, npc, fev)
+    if op == Op.HALT:
+        return (_T_HALT, 0, 0, pc, npc, fev)
+    if op == Op.TRAP:
+        return (_T_TRAP, 0, 0, pc, npc, fev)
+    return (_T_UNKNOWN, op, 0, pc, npc, fev)
+
+
+def CPU(machine, config=None, sampler=None, engine=None):
+    """Build a CPU for ``machine`` using the selected execution engine.
+
+    ``engine`` (or ``config.engine`` when None) chooses between the
+    block-cached engine (``"block"``, default) and the preserved
+    per-instruction reference interpreter (``"ref"``).  Both produce
+    bit-identical architectural and microarchitectural results.
+    """
+    cfg = config or UarchConfig()
+    eng = engine or cfg.engine
+    if eng == "ref":
+        return ReferenceCPU(machine, config=cfg, sampler=sampler)
+    if eng != "block":
+        raise ValueError(f"unknown execution engine {eng!r}")
+    return BlockCPU(machine, config=cfg, sampler=sampler)
 
 
 def run_binary(binary, *, inputs=None, config=None, sampler=None,
-               max_instructions=50_000_000, fetch_heat=False):
+               max_instructions=50_000_000, fetch_heat=False, engine=None):
     """Convenience: load, optionally poke input arrays, run.
 
     ``inputs``: {array link name: [values]} written before execution.
+    ``engine``: "block" | "ref" | None (use ``config.engine``).
     Returns the CPU (with counters, output, exit code).
     """
     machine = Machine(binary)
     if inputs:
         for link_name, values in inputs.items():
             machine.poke_array(link_name, values)
-    cpu = CPU(machine, config=config, sampler=sampler)
+    cpu = CPU(machine, config=config, sampler=sampler, engine=engine)
     if fetch_heat:
         cpu.fetch_heat = {}
     cpu.run(max_instructions)

@@ -30,6 +30,10 @@ class LBR:
             return [x for x in self.buffer[: self.pos]]
         return self.buffer[self.pos :] + self.buffer[: self.pos]
 
+    def state(self):
+        """Comparable full state (for engine-equivalence pinning)."""
+        return (self.depth, tuple(self.buffer), self.pos, self.filled)
+
     def clear(self):
         self.buffer = [None] * self.depth
         self.pos = 0

@@ -1,5 +1,7 @@
 """Memory, loader and process state."""
 
+from bisect import bisect_right
+
 from repro.belf import SectionType, STACK_TOP
 
 #: Sentinel return address: when main returns here, the program exits.
@@ -44,6 +46,11 @@ class Memory:
     def read_bytes(self, addr, size):
         offset = addr & _PAGE_MASK
         page_index = addr >> _PAGE_BITS
+        if offset + size <= _PAGE_SIZE:
+            page = self.pages.get(page_index)
+            if page is None:
+                return bytes(size)
+            return bytes(page[offset : offset + size])
         out = bytearray()
         remaining = size
         while remaining:
@@ -84,6 +91,9 @@ class Machine:
         self.binary = binary
         self.memory = Memory()
         self.exec_ranges = []        # (start, end) of executable sections
+        #: Set once any executable byte has been overwritten after load;
+        #: tells code-caching engines their pre-decoded traces are stale.
+        self.code_dirty = False
         self.load(binary)
         self._func_index = None
 
@@ -100,6 +110,37 @@ class Machine:
             if section.is_exec:
                 self.exec_ranges.append((section.addr, section.addr + section.size))
         self.entry = binary.entry
+        self._index_exec_ranges()
+
+    def _index_exec_ranges(self):
+        ranges = sorted(self.exec_ranges)
+        self._exec_starts = [start for start, _ in ranges]
+        self._exec_ends = [end for _, end in ranges]
+        self._exec_lo = ranges[0][0] if ranges else 0
+        self._exec_hi = max(self._exec_ends) if ranges else 0
+
+    def exec_bounds(self):
+        """(lowest, highest) executable address bound; (0, 0) if none."""
+        return self._exec_lo, self._exec_hi
+
+    def invalidate_code_cache(self):
+        """Mark the code image as modified.
+
+        Writes performed *by the CPU* are detected automatically; callers
+        that poke executable bytes directly through ``machine.memory``
+        must call this so block-cached engines drop their traces.
+        """
+        self.code_dirty = True
+
+    def code_write_check(self, addr, size=8):
+        """Flag (and report) a write overlapping an executable range."""
+        if addr >= self._exec_hi or addr + size <= self._exec_lo:
+            return False
+        idx = bisect_right(self._exec_starts, addr + size - 1) - 1
+        if idx >= 0 and self._exec_ends[idx] > addr:
+            self.code_dirty = True
+            return True
+        return False
 
     def initial_stack(self):
         """Set up the stack; returns the initial rsp (EXIT_MAGIC pushed)."""
@@ -108,7 +149,10 @@ class Machine:
         return rsp
 
     def is_executable_address(self, addr):
-        return any(start <= addr < end for start, end in self.exec_ranges)
+        if addr < self._exec_lo or addr >= self._exec_hi:
+            return False
+        idx = bisect_right(self._exec_starts, addr) - 1
+        return idx >= 0 and addr < self._exec_ends[idx]
 
     # -- symbol helpers (used by the unwinder and profilers) -----------------
 
@@ -121,12 +165,10 @@ class Machine:
 
     def function_at(self, addr):
         """FUNC symbol covering ``addr`` (binary search), or None."""
-        import bisect
-
         if self._func_index is None:
             self._build_func_index()
         starts, funcs = self._func_index
-        idx = bisect.bisect_right(starts, addr) - 1
+        idx = bisect_right(starts, addr) - 1
         if idx < 0:
             return None
         sym = funcs[idx]
@@ -137,6 +179,8 @@ class Machine:
         sym = self.binary.get_symbol(link_name)
         if sym is None:
             raise KeyError(f"no symbol {link_name}")
+        if values:
+            self.code_write_check(sym.value, 8 * len(values))
         for i, value in enumerate(values):
             self.memory.write_word(sym.value + 8 * i, value)
 
